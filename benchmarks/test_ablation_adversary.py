@@ -1,0 +1,73 @@
+"""Ablation: adversarial countermeasures (§ III-F, § VII).
+
+Spreading the same activity over more originator IPs erodes per-IP
+detection ("greatly increases the effort required by an adversarial
+originator"); QNAME minimization at queriers removes upstream signal
+("constrain[s] the signal to only the local authority").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adversary import qmin_experiment, spreading_experiment
+from repro.experiments.common import format_rows
+from repro.netmodel import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def adversary_world():
+    return World(WorldConfig(seed=31, scale=0.7))
+
+
+def test_ablation_spreading_evasion(once, adversary_world):
+    trials = once(spreading_experiment, adversary_world)
+    print("\n" + format_rows(
+        ["originators", "audience each", "detected", "largest footprint"],
+        [
+            [t.n_originators, t.audience_per_originator, t.detected, t.largest_footprint]
+            for t in trials
+        ],
+    ))
+    by_k = {t.n_originators: t for t in trials}
+
+    # Concentrated activity is reliably detected.
+    assert by_k[1].detected == 1
+
+    # Spreading shrinks each originator's footprint monotonically-ish...
+    assert by_k[32].largest_footprint < by_k[1].largest_footprint
+
+    # ...and at high enough spread, per-IP signal falls below the bar.
+    assert by_k[32].detected_fraction < 1.0
+
+    # But evasion is costly: moderate spreading still leaves detectable
+    # originators (the paper: it "greatly increases the effort").
+    assert by_k[2].detected >= 1
+
+
+def test_ablation_qname_minimization(once, adversary_world):
+    trials = once(qmin_experiment, adversary_world)
+    print("\n" + format_rows(
+        ["qmin fraction", "attributable", "minimized", "signal", "analyzable"],
+        [
+            [f"{t.qmin_fraction:.2f}", t.attributable_queries, t.minimized_queries,
+             f"{t.signal_fraction:.2f}", t.analyzable_originators]
+            for t in trials
+        ],
+    ))
+    by_fraction = {t.qmin_fraction: t for t in trials}
+
+    # No deployment -> full signal.
+    assert by_fraction[0.0].minimized_queries == 0
+    assert by_fraction[0.0].signal_fraction == 1.0
+
+    # Deployment strictly erodes the attributable share...
+    signals = [by_fraction[f].signal_fraction for f in sorted(by_fraction)]
+    assert all(b <= a + 0.02 for a, b in zip(signals, signals[1:]))
+
+    # ...and near-universal deployment starves the sensor.
+    assert by_fraction[0.95].signal_fraction < 0.2
+    assert (
+        by_fraction[0.95].analyzable_originators
+        <= by_fraction[0.0].analyzable_originators
+    )

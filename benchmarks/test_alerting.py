@@ -1,0 +1,50 @@
+"""Bench: surge alerting over the M-sampled scan series (§ I's promise).
+
+The paper motivates backscatter with anticipating attacks; the cleanest
+test is whether a robust detector flags the scanning surge around the
+Heartbleed announcement (day 50) while staying quiet on the steady
+background of the later months.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alerts import detect_surges
+from repro.analysis.trends import class_count_series
+from repro.datasets.specs import HEARTBLEED_DAY
+from repro.experiments.common import format_rows, windowed
+
+
+def test_alerting_on_scan_series(once):
+    analysis = windowed("M-sampled")
+
+    def run():
+        series = class_count_series(analysis)
+        return series, detect_surges(series, app_class="scan", threshold=3.0)
+
+    series, alerts = once(run)
+    print("\n" + format_rows(
+        ["day", "class", "observed", "baseline", "score"],
+        [
+            [f"{a.day:.0f}", a.app_class, a.observed, f"{a.baseline:.0f}", f"{a.score:.1f}"]
+            for a in alerts
+        ],
+    ))
+
+    # Something fires in the event/ramp-up period around Heartbleed
+    # (day 50); the classifier only has scan labels from the curations,
+    # so the detectable surge lands within the following weeks.  (Other
+    # alerts may precede it — the simulated background has genuine
+    # random spikes of its own, as the real one does.)
+    assert alerts, "no surge detected at all"
+    in_event_window = [
+        a for a in alerts if HEARTBLEED_DAY - 14 <= a.day <= HEARTBLEED_DAY + 80
+    ]
+    assert in_event_window, [a.day for a in alerts]
+
+    # Surges are the exception, not the rule: most windows stay quiet
+    # (the paper: a large continuous background with occasional peaks).
+    populated = [point for point in series if point[2] > 0]
+    assert len(alerts) <= 0.4 * len(populated), (
+        len(alerts),
+        len(populated),
+    )

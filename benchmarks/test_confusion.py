@@ -1,0 +1,38 @@
+"""Bench: per-class confusion structure (§ IV-C's misclassification notes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import confusion
+
+
+def test_confusion_structure(once):
+    result = once(confusion.run, "JP-ditl", 15)
+    print("\n" + confusion.format_table(result))
+
+    recalls = {record.app_class: record.recall for record in result.per_class}
+    supports = {record.app_class: record.support for record in result.per_class}
+
+    # The big, well-trained classes are recalled reliably.
+    for name in ("spam", "mail"):
+        assert recalls.get(name, 0) > 0.6, name
+
+    # § IV-C: mislabeling concentrates where training data is sparse —
+    # the weakest classes have below-median support.
+    ordered = sorted(result.per_class, key=lambda r: r.recall)
+    weakest = [r.app_class for r in ordered[:3]]
+    median_support = float(np.median(list(supports.values())))
+    assert any(supports[name] <= median_support for name in weakest), (
+        weakest,
+        supports,
+    )
+
+    # § IV-C: "p2p is sometimes misclassified as scan" — the confusion
+    # exists and is directional enough to notice.
+    if "p2p" in result.classes and "scan" in result.classes:
+        assert result.confusion("p2p", "scan") > 0.0
+
+    # The matrix is a proper aggregate: rows sum to repeated test folds.
+    assert result.matrix.sum() > 0
+    assert (result.matrix >= 0).all()

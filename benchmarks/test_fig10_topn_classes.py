@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 10 (class mix of top-N originators)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_topn
+
+
+def test_fig10_topn_classes(once):
+    result = once(fig10_topn.run)
+    print("\n" + fig10_topn.format_table(result))
+
+    # § VI-B: big footprints are unsavory.  At the JP vantage the top-100
+    # is dominated by spam; malicious classes are prominent at roots too.
+    jp_top100 = result.mix("JP-ditl", 100)
+    assert jp_top100.fraction("spam") >= 0.2
+    assert jp_top100.fraction("spam") + jp_top100.fraction("scan") >= 0.3
+
+    for dataset in ("B-post-ditl", "M-ditl"):
+        top100 = result.mix(dataset, 100)
+        assert top100.fraction("scan") + top100.fraction("spam") > 0.15, dataset
+
+    # Crawlers run many small parallel workers: they gain share only in
+    # the widest cut (paper: 554 in top-10000 vs 3 in top-1000).
+    for dataset in ("B-post-ditl", "M-ditl"):
+        assert (
+            result.mix(dataset, 10_000).fraction("crawler")
+            >= result.mix(dataset, 100).fraction("crawler")
+        ), dataset
+
+    # Fractions are distributions.
+    for mix in result.mixes.values():
+        assert abs(sum(mix.fractions.values()) - 1.0) < 1e-9

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 11 (originators over time, Heartbleed bump)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig11_trends
+
+
+def test_fig11_trends(once):
+    result = once(fig11_trends.run)
+    print("\n" + fig11_trends.format_table(result))
+
+    classified = [(d, c, t) for d, c, t in result.series if t > 0]
+    assert len(classified) >= 10, "too few classified windows"
+
+    # A continuous background of scanning: scan appears in almost every
+    # classified window.
+    scan_windows = [c.get("scan", 0) for _, c, t in classified]
+    assert sum(1 for s in scan_windows if s > 0) >= 0.8 * len(classified)
+
+    # scan and spam are the dominant classes overall (Fig 11's big bands).
+    totals: dict[str, int] = {}
+    for _, counts, _ in classified:
+        for name, value in counts.items():
+            totals[name] = totals.get(name, 0) + value
+    ranked = sorted(totals, key=lambda k: -totals[k])
+    assert set(ranked[:3]) & {"scan", "spam"}
+
+    # The Heartbleed announcement produces a visible scan bump (paper:
+    # >25% over the standing background).
+    bump = result.heartbleed_bump()
+    assert np.isfinite(bump)
+    assert bump > 1.1

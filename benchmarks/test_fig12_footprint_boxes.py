@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 12 (scanner footprint box plot over time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_footprint_boxes
+
+
+def test_fig12_footprint_boxes(once):
+    result = once(fig12_footprint_boxes.run)
+    print("\n" + fig12_footprint_boxes.format_table(result))
+
+    assert len(result.boxes) >= 8, "too few weekly boxes"
+
+    from repro.experiments.common import MIN_QUERIERS
+
+    floor = MIN_QUERIERS.get("M-sampled", 20)
+    for box in result.boxes:
+        # Quantiles are ordered and above the analyzability floor.
+        assert box.p10 <= box.p25 <= box.median <= box.p75 <= box.p90
+        assert box.p10 >= floor
+
+    # Fig 12's shape: the upper tail reaches far above the typical
+    # scanner ("a few very large scanners come and go, while a core of
+    # slower scanners are always present").  With tens (not hundreds) of
+    # scanners per window, quantile noise affects the median too, so the
+    # shape tests are: big excursions exist in the p90 series, and the
+    # p90 series is at least comparably volatile to the median.
+    import numpy as np
+
+    medians = np.array([b.median for b in result.boxes])
+    p90s = np.array([b.p90 for b in result.boxes])
+    assert p90s.max() > 2.0 * np.median(medians)
+    assert result.volatility("p90") > 0.5 * result.volatility("median")

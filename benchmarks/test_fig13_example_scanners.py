@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 13 (example scanners over time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_example_scanners
+
+
+def test_fig13_example_scanners(once):
+    examples = once(fig13_example_scanners.run)
+    print("\n" + fig13_example_scanners.format_table(examples))
+    by_label = {e.label: e for e in examples}
+
+    assert len(examples) >= 3, "too few example scanners found"
+
+    # The persistent ssh scanner is long-lived (paper: present the whole
+    # nine months) and carries a large footprint.
+    from repro.experiments.common import MIN_QUERIERS
+
+    ssh = by_label.get("tcp22 (persistent)")
+    assert ssh is not None
+    assert ssh.weeks_active >= 8
+    assert ssh.peak_footprint >= MIN_QUERIERS.get("M-sampled", 20)
+
+    # The Heartbleed-driven tcp443 scanners are transient (paper: one
+    # week in April).
+    heartbleed = by_label.get("tcp443 (heartbleed)")
+    if heartbleed is not None and heartbleed.series:
+        assert heartbleed.weeks_active < ssh.weeks_active
+
+    # At least one of the examples is also darknet-confirmed, anchoring
+    # the classification to external evidence.
+    assert any(e.darknet_confirmed for e in examples)

@@ -1,0 +1,51 @@
+"""Bench: regenerate Figure 14 + § VI-B team statistics (/24 scan teams)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14_teams
+
+
+def test_fig14_team_blocks(once):
+    result = once(fig14_teams.run)
+    print("\n" + fig14_teams.format_table(result))
+    summary = result.summary
+
+    # Scanning exists and spreads over multiple /24s.
+    assert summary.scan_originators > 20
+    assert summary.scan_blocks > 10
+
+    # § VI-B's funnel: only a minority of scanning blocks host 4+ scanner
+    # IPs.  The paper's 47k-originator population yields 39 single-class
+    # blocks out of 167 candidates; with our 1-3 candidate blocks we
+    # assert the purity signature instead of demanding a perfect block:
+    # the best candidate is strongly scan-dominated.
+    assert 0 < summary.blocks_with_4plus < summary.scan_blocks
+    assert summary.single_class_teams <= summary.blocks_with_4plus
+    assert summary.best_block_purity >= 0.6
+
+    # The example team blocks carry concurrent members over time.
+    assert result.block_series
+    best = max(
+        result.block_series.values(),
+        key=lambda series: max((c for _, c in series), default=0),
+    )
+    assert max(c for _, c in best) >= 3
+
+
+def test_team_coactivity(once):
+    """§ VI-B's "closer examination": candidate teams are temporally
+    coordinated — their members' active weeks overlap far more than
+    random cross-block scanner pairs."""
+    from repro.analysis.coordination import team_coactivity
+    from repro.experiments.common import windowed
+
+    analysis = windowed("M-sampled")
+    teams = once(team_coactivity, analysis)
+    print("\n" + "\n".join(
+        f"block {t.block:#x}: members={t.members} coactivity={t.coactivity:.2f} "
+        f"baseline={t.baseline:.2f} lift={t.lift:.1f}"
+        for t in teams
+    ))
+    assert teams, "no candidate teams found"
+    best = max(teams, key=lambda t: t.lift)
+    assert best.lift > 1.2

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 15 (week-by-week scanner churn)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig15_churn
+
+
+def test_fig15_churn(once):
+    result = once(fig15_churn.run)
+    print("\n" + fig15_churn.format_table(result))
+
+    active = [p for p in result.points if p.total > 0]
+    assert len(active) >= 8, "too few active weeks"
+
+    # Steady-state weeks mix new, continuing, and departing scanners.
+    # The first weeks after curation are sparse (labeled scan examples
+    # were curated mid-dataset and did not exist earlier), so require the
+    # continuing core for the great majority of weeks, not unanimity.
+    middle = active[2:-1]
+    assert any(p.new > 0 for p in middle)
+    assert any(p.departing > 0 for p in middle)
+    with_core = sum(1 for p in middle if p.continuing > 0)
+    assert with_core >= 0.75 * len(middle), "continuing core vanished"
+
+    # Turnover is substantial but far from total (paper: ~20% per week).
+    turnover = result.mean_turnover()
+    assert np.isfinite(turnover)
+    assert 0.05 < turnover < 0.7

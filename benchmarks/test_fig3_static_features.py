@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 3 (static features of the six case studies)."""
+
+from __future__ import annotations
+
+from repro.experiments import case_studies
+
+
+def test_fig3_static_features(once):
+    cases = once(case_studies.run)
+    print("\n" + case_studies.format_static(cases))
+    by_label = {c.label: c for c in cases}
+    assert {"cdn", "mail", "spam"} <= set(by_label), "core case studies missing"
+
+    # Fig 3's qualitative shapes:
+    # cdn ranks among the home-heaviest case studies (each case is one
+    # sampled originator, so we require top-2 rather than strict max),
+    home_ranked = sorted(by_label, key=lambda l: -by_label[l].static["home"])
+    assert "cdn" in home_ranked[:2], home_ranked
+    others_mean = sum(
+        case.static["home"] for label, case in by_label.items() if label != "cdn"
+    ) / (len(by_label) - 1)
+    assert by_label["cdn"].static["home"] > others_mean
+    # mail and spam are mail-heavy relative to everything else,
+    for mail_like in ("mail", "spam"):
+        others = [c.static["mail"] for l, c in by_label.items() if l not in ("mail", "spam")]
+        assert by_label[mail_like].static["mail"] > max(others)
+    # scanners show a visible nxdomain fraction (they sweep unmanaged space),
+    for scan_label in ("scan-icmp", "scan-ssh"):
+        if scan_label in by_label:
+            assert by_label[scan_label].static["nxdomain"] > 0.05
+    # and every static vector is a distribution.
+    for case in cases:
+        assert abs(sum(case.static.values()) - 1.0) < 1e-9

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 4 (controlled scans vs observed queriers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig4_controlled
+
+
+def test_fig4_controlled(once):
+    result = once(fig4_controlled.run)
+    print("\n" + fig4_controlled.format_table(result))
+
+    # Sub-linear power law at the final authority (paper: exponent 0.71).
+    assert 0.55 <= result.power <= 0.9
+
+    # Monotone growth of final-authority queriers with scan size.
+    by_fraction: dict[float, list[int]] = {}
+    for trial in result.trials:
+        by_fraction.setdefault(trial.fraction, []).append(trial.final_queriers)
+    means = [np.mean(by_fraction[f]) for f in sorted(by_fraction)]
+    assert all(b >= a for a, b in zip(means, means[1:]))
+
+    # Root attenuation: even the full-space scan leaves roots with a tiny
+    # fraction of the final authority's queriers (paper: 2 queriers at M
+    # for a scan the final authority saw thousands of queriers from).
+    biggest = max(result.trials, key=lambda t: t.fraction)
+    assert biggest.m_root_queriers < biggest.final_queriers / 20
+    assert biggest.b_root_queriers < biggest.final_queriers / 20
+
+    # Detection threshold: scans of ~0.001% of the space and larger are
+    # always above the 20-querier bar (Fig 4's horizontal line).
+    assert result.detection_fraction is not None
+    assert result.detection_fraction <= 1e-4

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figures 5 and 6 (labeled-example stability)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_fig6_stability
+from repro.experiments.fig5_fig6_stability import monthly_retention
+
+
+def test_fig5_benign_stability_and_fig6_malicious_churn(once):
+    result = once(fig5_fig6_stability.run)
+    print("\n" + fig5_fig6_stability.format_table(result))
+
+    benign_1mo = monthly_retention(result.benign, result.curation_day, 1.0)
+    malicious_1mo = monthly_retention(result.malicious, result.curation_day, 1.0)
+
+    # Fig 5: benign activity decays slowly (paper: ~10% in a month).
+    assert benign_1mo > 0.6
+
+    # Fig 6: malicious activity collapses (paper: to ~50% in a month).
+    assert malicious_1mo < benign_1mo
+    assert malicious_1mo < 0.75
+
+    # The decay continues: 6-month benign retention below 1-month's,
+    # but benign examples remain usable far longer than malicious ones.
+    benign_6mo = monthly_retention(result.benign, result.curation_day, 6.0)
+    malicious_3mo = monthly_retention(result.malicious, result.curation_day, 3.0)
+    assert benign_6mo <= benign_1mo + 0.05
+    assert benign_6mo > malicious_3mo
+
+    # Decay is roughly symmetric around curation (activity was also
+    # growing/churning before the expert looked at it).
+    benign_minus_1mo = monthly_retention(result.benign, result.curation_day, -1.0)
+    assert benign_minus_1mo > 0.5

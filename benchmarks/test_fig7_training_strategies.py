@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 7 (training strategies over time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_strategies
+from repro.sensor.training import Strategy
+
+
+def test_fig7_training_strategies(once):
+    result = once(fig7_strategies.run)
+    print("\n" + fig7_strategies.format_table(result))
+    evaluations = result.evaluations
+
+    def far_f1(strategy: Strategy) -> float:
+        series = evaluations[strategy].f1_series()
+        values = [f for d, f in series if d - result.curation_day >= 60]
+        return sum(values) / len(values) if values else 0.0
+
+    def near_f1(strategy: Strategy) -> float:
+        series = evaluations[strategy].f1_series()
+        values = [f for d, f in series if abs(d - result.curation_day) <= 15]
+        return sum(values) / len(values) if values else 0.0
+
+    # Everything works near the curation day.
+    assert near_f1(Strategy.TRAIN_DAILY) > 0.5
+
+    # Fig 7's ordering far from curation: train-daily sustains the best
+    # performance; train-once degrades relative to it.
+    assert far_f1(Strategy.TRAIN_DAILY) >= far_f1(Strategy.TRAIN_ONCE) - 0.02
+    assert far_f1(Strategy.TRAIN_DAILY) >= far_f1(Strategy.AUTO_GROW) - 0.02
+
+    # Train-daily stays within striking distance of its near-curation
+    # performance (paper: within 90% of best for months).
+    assert far_f1(Strategy.TRAIN_DAILY) > 0.5 * near_f1(Strategy.TRAIN_DAILY)

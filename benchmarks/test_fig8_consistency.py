@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 8 (classification consistency CDF)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_consistency
+
+
+def test_fig8_consistency(once):
+    result = once(fig8_consistency.run)
+    print("\n" + fig8_consistency.format_table(result))
+
+    thresholds = sorted(result.by_threshold)
+    assert thresholds[0] == 20
+
+    # Some originators qualify at every threshold that has data.
+    populated = [q for q in thresholds if result.by_threshold[q]]
+    assert 20 in populated
+
+    # The paper's headline: almost all originators (85-90%) have a
+    # strict-majority class.
+    assert result.majority_fraction(20) > 0.7
+
+    # More queriers -> more consistent: the fully-consistent fraction at
+    # the highest populated threshold is at least that at q=20.
+    def consistent_fraction(q: int) -> float:
+        records = result.by_threshold[q]
+        if not records:
+            return 1.0
+        return sum(1 for r in records if r.r >= 0.999) / len(records)
+
+    top = populated[-1]
+    assert consistent_fraction(top) >= consistent_fraction(20) - 0.1
+
+    # r is a valid ratio everywhere.
+    for records in result.by_threshold.values():
+        for record in records:
+            assert 0.0 < record.r <= 1.0
+            assert record.appearances >= 4

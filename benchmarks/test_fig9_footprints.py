@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 9 (originator footprint distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig9_footprints
+from repro.experiments.common import MIN_QUERIERS
+
+
+def test_fig9_footprints(once):
+    curves = once(fig9_footprints.run)
+    print("\n" + fig9_footprints.format_table(curves))
+    by_name = {c.dataset: c for c in curves}
+
+    for curve in curves:
+        # Heavy tail: the largest footprint dwarfs the analyzability bar.
+        assert curve.max_footprint > 100, curve.dataset
+        # A meaningful population above the (scale-corrected)
+        # analyzability bar — the paper sees hundreds of large
+        # originators at unsampled vantages, fewer at the sampled root.
+        floor = MIN_QUERIERS.get(curve.dataset, 20)
+        population = int((curve.sizes >= floor).sum())
+        assert population >= 30, curve.dataset
+        # CCDF is a valid survival curve.
+        assert (np.diff(curve.survival) <= 1e-12).all()
+        assert curve.survival[0] == 1.0
+
+    # The JP national sensor (unsampled, low in the hierarchy) sees
+    # larger footprints than the sampled root.
+    assert by_name["JP-ditl"].max_footprint > by_name["M-sampled"].max_footprint

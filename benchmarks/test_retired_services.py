@@ -1,0 +1,45 @@
+"""Bench: retired-service detection (§ VI-B's sticky-client observation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.retired import retirement_experiment
+from repro.experiments.common import format_rows
+from repro.netmodel import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def retired_world():
+    return World(WorldConfig(seed=61, scale=0.7))
+
+
+def test_retired_services_stay_visible_and_decay(once, retired_world):
+    study = once(retirement_experiment, retired_world)
+    print("\n" + format_rows(
+        ["service", "class", "retired day", "weekly footprints"],
+        [
+            [
+                hex(service.originator),
+                service.app_class,
+                f"{service.retired_day:.0f}",
+                " ".join(str(f) for f in service.weekly_footprints),
+            ]
+            for service in study.services
+        ],
+    ))
+    assert len(study.services) >= 3
+
+    for service in study.services:
+        # The dead service keeps appearing at the sensor for weeks —
+        # the paper found retired root servers visible years later.
+        assert service.weeks_visible_after_retirement(threshold=10) >= 4, (
+            service.app_class
+        )
+        # And its footprint trends down as sticky clients get fixed.
+        assert service.decays_after_retirement(), service.app_class
+        # Pre-retirement footprint clearly exceeds the late tail.
+        retired_week = int(service.retired_day // 7)
+        before = max(service.weekly_footprints[:retired_week])
+        tail = service.weekly_footprints[-2:]
+        assert before > max(tail), service.app_class

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table I (dataset inventory)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(once):
+    rows = once(table1_datasets.run)
+    print("\n" + table1_datasets.format_table(rows))
+    by_name = {row.name: row for row in rows}
+
+    # Reverse queries are a small fraction of total traffic everywhere.
+    for row in rows:
+        assert 0 < row.queries_reverse < row.queries_all
+        assert row.qps_reverse < row.qps_all
+
+    # The JP vantage (unsampled, low in the hierarchy) collects far more
+    # reverse backscatter than the root vantages (Table I: 0.3e9 vs
+    # 0.04-0.07e9 over comparable windows).
+    assert by_name["JP-ditl"].queries_reverse > 2 * by_name["M-ditl"].queries_reverse
+    assert by_name["JP-ditl"].queries_reverse > 2 * by_name["B-post-ditl"].queries_reverse
+
+    # Long captures accumulate far more reverse queries than the 1.5-2
+    # day DITL snapshots at the same vantage, and the 1:10 sampling shows
+    # in M-sampled's logged-vs-arrived ratio (Table I's sampling column).
+    assert by_name["B-multi-year"].queries_reverse > by_name["B-post-ditl"].queries_reverse
+    assert by_name["M-sampled"].sampling == "1:10"

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table II (dynamic features of the case studies)."""
+
+from __future__ import annotations
+
+from repro.experiments import case_studies
+
+
+def test_table2_dynamic_features(once):
+    cases = once(case_studies.run)
+    print("\n" + case_studies.format_dynamic(cases))
+    by_label = {c.label: c for c in cases}
+
+    # Table II's qualitative shapes:
+    # cdn has the lowest global entropy (geographically concentrated
+    # audience: "Low global entropy for cdn reflects CDN selection"),
+    cdn_global = by_label["cdn"].dynamic["dyn_global_entropy"]
+    for label in ("scan-icmp", "scan-ssh", "ad-track", "spam"):
+        if label in by_label:
+            assert cdn_global < by_label[label].dynamic["dyn_global_entropy"], label
+    # mail is below spam on queries/querier (1.7 vs 3.4 in the paper:
+    # one mailing burst vs retries and filter re-lookups),
+    assert (
+        by_label["mail"].dynamic["dyn_queries_per_querier"]
+        < by_label["spam"].dynamic["dyn_queries_per_querier"]
+    )
+    # and local /24 entropy is high across the board (0.92-0.97).
+    for case in cases:
+        assert case.dynamic["dyn_local_entropy"] > 0.8, case.label

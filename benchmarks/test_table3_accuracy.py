@@ -1,0 +1,46 @@
+"""Bench: regenerate Table III (classification accuracy, CART/RF/SVM).
+
+The headline result: random forest achieves 0.7-0.8 accuracy over 12
+classes (chance ≈ 0.08), CART is clearly worse, and the unsampled,
+low-in-hierarchy JP vantage beats the short root datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3_accuracy
+
+#: Fewer repeats than the paper's 50 to keep the bench affordable; the
+#: means stabilize well before that.
+REPEATS = 15
+
+
+@pytest.mark.parametrize("dataset", ["JP-ditl", "B-post-ditl", "M-ditl", "M-sampled"])
+def test_table3_accuracy(once, dataset):
+    rows = once(
+        table3_accuracy.run,
+        datasets=(dataset,),
+        repeats=REPEATS,
+    )
+    print("\n" + table3_accuracy.format_table(rows))
+    summary = {row.algorithm: row.summary for row in rows}
+
+    # Far above chance for all three algorithms.
+    for algorithm, s in summary.items():
+        assert s.accuracy_mean > 0.3, algorithm
+
+    # RF beats CART decisively; RF vs SVM lands within holdout noise
+    # (the paper separates them by a few points, with RF on top — our
+    # SVM occasionally edges ahead at the sparse root vantages, where
+    # both algorithms sit one std apart).
+    assert summary["RF"].accuracy_mean >= summary["CART"].accuracy_mean
+    assert summary["RF"].accuracy_mean >= summary["SVM"].accuracy_mean - 0.08
+
+    # The paper's band: best algorithm lands roughly in 0.6-0.9.
+    assert 0.55 <= summary["RF"].accuracy_mean <= 0.95
+
+    # Repeated holdout is reasonably stable (the paper's stds are
+    # 0.02-0.05 on 200-750 examples; the sparse sampled vantage has a
+    # several-fold smaller labeled population and thus more variance).
+    assert summary["RF"].accuracy_std < 0.15

@@ -1,0 +1,43 @@
+"""Render paper figures as SVG from fast experiment runs.
+
+Writes a handful of the paper's figures (the ones computable without
+month-scale datasets) into ``figures/`` using tiny presets, so the whole
+script finishes in well under a minute.  For full-fidelity figures, run
+``python -m repro.cli figures -o figures`` (minutes: regenerates the
+longitudinal datasets too).
+
+Run:  python examples/render_figures.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import case_studies, fig4_controlled, fig9_footprints
+from repro.viz import render_fig3, render_fig4, render_fig9
+
+
+def main() -> None:
+    output = Path("figures")
+
+    print("Fig 4 (controlled scans) …")
+    fig4 = fig4_controlled.run(
+        fractions=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2), trials_per_fraction=2,
+        world_scale=0.6, seed=11,
+    )
+    print(f"  power-law exponent: {fig4.power:.2f} (paper: 0.71)")
+    print(f"  wrote {render_fig4(fig4, output / 'fig4_controlled.svg')}")
+
+    print("Fig 3 (case-study static features, tiny JP-ditl) …")
+    cases = case_studies.run(preset="tiny")
+    print(f"  wrote {render_fig3(cases, output / 'fig3_static_features.svg')}")
+
+    print("Fig 9 (footprint CCDF, tiny datasets) …")
+    curves = fig9_footprints.run(datasets=("JP-ditl", "B-post-ditl"), preset="tiny")
+    print(f"  wrote {render_fig9(curves, output / 'fig9_footprints.svg')}")
+
+    print("\nOpen the SVGs in any browser.")
+
+
+if __name__ == "__main__":
+    main()

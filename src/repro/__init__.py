@@ -1,0 +1,81 @@
+"""repro — DNS backscatter sensing, a reproduction of Fukuda, Heidemann &
+Qadeer, *Detecting Malicious Activity with DNS Backscatter Over Time*
+(IMC 2015 / IEEE-ToN 2017).
+
+Quickstart::
+
+    from repro import get_dataset, BackscatterPipeline, LabeledSet
+
+    dataset = get_dataset("JP-ditl", preset="tiny")
+    pipeline = BackscatterPipeline(dataset.directory())
+    features = pipeline.features_from_log(
+        dataset.sensor, 0.0, dataset.duration_seconds
+    )
+    truth = dataset.true_classes()
+    labeled = LabeledSet.from_pairs(
+        (int(o), truth[int(o)]) for o in features.originators if int(o) in truth
+    )
+    pipeline.fit(features, labeled)
+    for verdict in pipeline.classify(features)[:10]:
+        print(verdict)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.netmodel` — synthetic Internet (addresses, ASes, geography,
+  reverse-name conventions, querier population);
+* :mod:`repro.dnssim` — DNS substrate (caches, zones, resolvers,
+  authorities-as-sensors);
+* :mod:`repro.activity` — the 12 application-class workload models;
+* :mod:`repro.sensor` — the paper's contribution: backscatter → features
+  → classification → training over time;
+* :mod:`repro.ml` — CART / random forest / kernel SVM from scratch;
+* :mod:`repro.groundtruth` — darknets, DNSBLs, label curation;
+* :mod:`repro.datasets` — Table I dataset specs and generation;
+* :mod:`repro.analysis` — footprints, trends, teams, consistency, caching;
+* :mod:`repro.experiments` — one runnable module per paper table/figure.
+"""
+
+from repro.activity import APPLICATION_CLASSES, BENIGN_CLASSES, MALICIOUS_CLASSES
+from repro.datasets import DATASET_SPECS, generate_dataset, get_dataset, spec_for
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    SvmClassifier,
+)
+from repro.sensor import (
+    ANALYZABLE_THRESHOLD,
+    FEATURE_NAMES,
+    BackscatterPipeline,
+    LabeledExample,
+    LabeledSet,
+    WorldDirectory,
+    classify_name,
+    extract_features,
+)
+from repro.netmodel import World, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATION_CLASSES",
+    "BENIGN_CLASSES",
+    "MALICIOUS_CLASSES",
+    "DATASET_SPECS",
+    "generate_dataset",
+    "get_dataset",
+    "spec_for",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "SvmClassifier",
+    "ANALYZABLE_THRESHOLD",
+    "FEATURE_NAMES",
+    "BackscatterPipeline",
+    "LabeledExample",
+    "LabeledSet",
+    "WorldDirectory",
+    "classify_name",
+    "extract_features",
+    "World",
+    "WorldConfig",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Originator activity workloads: class profiles, campaigns, scenarios.
+
+The generative side of the reproduction: every network-wide activity the
+paper classifies (§ III-D's twelve classes) is modeled here as a campaign
+whose targets induce PTR lookups from queriers.
+"""
+
+from repro.activity.base import Campaign, build_campaign
+from repro.activity.classes import (
+    APPLICATION_CLASSES,
+    BENIGN_CLASSES,
+    MALICIOUS_CLASSES,
+    PROFILES,
+    SCAN_VARIANTS,
+    ClassProfile,
+    PtrProfile,
+    TemporalMode,
+)
+from repro.activity.diurnal import (
+    BUSINESS_HOURS,
+    EVENING,
+    FLAT,
+    SECONDS_PER_DAY,
+    DiurnalPattern,
+)
+from repro.activity.engine import EngineStats, SimulationEngine
+from repro.activity.scenario import (
+    LIFETIME_DAYS_MEAN,
+    Actor,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+
+__all__ = [
+    "Campaign",
+    "build_campaign",
+    "APPLICATION_CLASSES",
+    "BENIGN_CLASSES",
+    "MALICIOUS_CLASSES",
+    "PROFILES",
+    "SCAN_VARIANTS",
+    "ClassProfile",
+    "PtrProfile",
+    "TemporalMode",
+    "BUSINESS_HOURS",
+    "EVENING",
+    "FLAT",
+    "SECONDS_PER_DAY",
+    "DiurnalPattern",
+    "EngineStats",
+    "SimulationEngine",
+    "LIFETIME_DAYS_MEAN",
+    "Actor",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

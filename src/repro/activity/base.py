@@ -1,0 +1,383 @@
+"""Campaigns: one originator's network-wide activity over a time window.
+
+A campaign is the generative unit of the simulation.  Building one
+allocates an originator address, draws its audience of queriers (the
+machines that will resolve its PTR as a side effect of being touched),
+and pre-computes every lookup-attempt time, so that event generation is
+deterministic, windowable, and independent of simulation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.activity.classes import (
+    PROFILES,
+    SCAN_VARIANTS,
+    ClassProfile,
+    TemporalMode,
+)
+from repro.activity.diurnal import SECONDS_PER_DAY
+from repro.dnssim.zone import PtrRecordSpec
+from repro.netmodel.addressing import Prefix
+from repro.netmodel.world import Querier, World
+
+__all__ = ["Campaign", "build_campaign"]
+
+
+@dataclass(slots=True)
+class Campaign:
+    """A fully materialized activity: who, what, when, and every lookup."""
+
+    originator: int
+    app_class: str
+    start: float
+    end: float
+    audience: tuple[Querier, ...]
+    ptr_spec: PtrRecordSpec
+    home_country: str | None = None
+    variant: str | None = None
+    """Scan port/protocol variant (``tcp22`` …); None for other classes."""
+    targeted: bool = False
+    """Targeted scans probe curated lists and never hit darknets (§ VII)."""
+    team_block: Prefix | None = None
+    _times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    _querier_index: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    @property
+    def footprint(self) -> int:
+        """Intended audience size (unique queriers at final-authority level)."""
+        return len(self.audience)
+
+    @property
+    def duration_days(self) -> float:
+        return (self.end - self.start) / SECONDS_PER_DAY
+
+    def active_during(self, window_start: float, window_end: float) -> bool:
+        return self.start < window_end and self.end > window_start
+
+    def set_events(self, times: np.ndarray, querier_index: np.ndarray) -> None:
+        order = np.argsort(times, kind="stable")
+        self._times = times[order]
+        self._querier_index = querier_index[order]
+
+    @property
+    def total_attempts(self) -> int:
+        return len(self._times)
+
+    def events_in(
+        self, window_start: float, window_end: float
+    ) -> list[tuple[float, Querier]]:
+        """Lookup attempts with ``window_start <= t < window_end``, in order."""
+        lo = int(np.searchsorted(self._times, window_start, side="left"))
+        hi = int(np.searchsorted(self._times, window_end, side="left"))
+        return [
+            (float(self._times[i]), self.audience[int(self._querier_index[i])])
+            for i in range(lo, hi)
+        ]
+
+
+def allocate_routed_originator(
+    world: World,
+    rng: np.random.Generator,
+    country: str | None,
+    kind,
+) -> int:
+    """Allocate preferring (country, kind), relaxing kind then country.
+
+    Small countries may lack an AS of the preferred kind (not every
+    country hosts cloud providers); activity still has to originate
+    somewhere, so fall back rather than fail.
+    """
+    for constraints in ((country, kind), (country, None), (None, kind)):
+        try:
+            return world.allocate_originator(rng, country=constraints[0], kind=constraints[1])
+        except ValueError:
+            continue
+    return world.allocate_originator(rng)
+
+
+def _sample_ptr_spec(
+    profile: ClassProfile, rng: np.random.Generator
+) -> PtrRecordSpec:
+    ptr = profile.ptr
+    weights = np.asarray(ptr.ttl_weights, dtype=float)
+    ttl = float(
+        ptr.ttl_choices[int(rng.choice(len(ptr.ttl_choices), p=weights / weights.sum()))]
+    )
+    negative_ttl = float(
+        ptr.negative_ttl_choices[int(rng.integers(len(ptr.negative_ttl_choices)))]
+    )
+    return PtrRecordSpec(
+        has_name=rng.random() < ptr.has_name_probability,
+        ttl=ttl,
+        negative_ttl=negative_ttl,
+        reachable=rng.random() < ptr.reachable_probability,
+    )
+
+
+def _jitter_role_weights(
+    weights: dict, concentration: float, rng: np.random.Generator
+) -> dict:
+    """Per-campaign Dirichlet draw around the profile's role mix."""
+    roles = list(weights)
+    base = np.array([weights[r] for r in roles], dtype=float)
+    base = base / base.sum()
+    drawn = rng.dirichlet(np.maximum(base * concentration, 1e-3))
+    return dict(zip(roles, drawn.tolist()))
+
+
+def _country_weights(
+    world: World, home: str | None, bias: float
+) -> dict[str, float] | None:
+    if home is None or bias <= 0.0:
+        return None
+    weights = {
+        code: (1.0 - bias) * country.weight
+        for code, country in world.geo.countries.items()
+        if code != home
+    }
+    total_rest = sum(weights.values())
+    if total_rest > 0:
+        weights = {c: w / total_rest * (1.0 - bias) for c, w in weights.items()}
+    weights[home] = bias
+    return weights
+
+
+def _boost_nameless(
+    world: World,
+    audience: list[Querier],
+    boost: float,
+    rng: np.random.Generator,
+) -> list[Querier]:
+    if boost <= 0.0:
+        return audience
+    pool = world.nameless_indices()
+    if not pool:
+        return audience
+    replaced = audience[:]
+    used = {q.addr for q in audience}
+    for i in range(len(replaced)):
+        if rng.random() >= boost:
+            continue
+        for _ in range(4):
+            candidate = world.queriers[pool[int(rng.integers(len(pool)))]]
+            if candidate.addr not in used:
+                used.add(candidate.addr)
+                replaced[i] = candidate
+                break
+    return replaced
+
+
+def _effective_ptr_ttl(spec: PtrRecordSpec) -> float:
+    """How long a querier's resolver will cache the campaign's PTR answer.
+
+    Mirrors :meth:`repro.dnssim.resolver.RecursiveResolver.store_answer`,
+    including the cache-pressure eviction cap, so the pre-compression of
+    attempts into misses stays exactly consistent with the hierarchy.
+    """
+    from repro.dnssim.zone import PTR_CACHE_EVICTION_SECONDS, SERVFAIL_RETRY_TTL
+
+    if not spec.reachable:
+        return SERVFAIL_RETRY_TTL
+    if not spec.has_name:
+        return min(spec.negative_ttl, PTR_CACHE_EVICTION_SECONDS)
+    return min(spec.ttl, PTR_CACHE_EVICTION_SECONDS)
+
+
+def _dedup_by_ttl(times: np.ndarray, ttl: float) -> np.ndarray:
+    """Keep only attempts that would miss the querier's PTR cache.
+
+    The resolver caches the answer for *ttl* seconds, so of a sorted
+    attempt sequence only those at least *ttl* after the previous kept one
+    reach the authority.  Compressing here (instead of generating every
+    cache hit as an event) keeps month-scale simulations tractable and is
+    exactly equivalent: hits produce no observable query anywhere.
+    """
+    if ttl <= 0 or len(times) <= 1:
+        return times
+    times = np.sort(times)
+    kept = [times[0]]
+    horizon = times[0] + ttl
+    for t in times[1:]:
+        if t >= horizon:
+            kept.append(t)
+            horizon = t + ttl
+    return np.asarray(kept)
+
+
+def _attempt_times(
+    profile: ClassProfile,
+    n_queriers: int,
+    start: float,
+    end: float,
+    ptr_spec: PtrRecordSpec,
+    rng: np.random.Generator,
+    attempts_scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-querier lookup-attempt times for the whole campaign.
+
+    ``attempts_mean`` is calibrated as attempts per querier over a 2-day
+    (DITL-length) window, matching Table II's queries/querier; continuous
+    classes scale it by campaign duration, burst/sweep classes interpret
+    it per touch (one activation plus short-scale retries).
+    """
+    duration = end - start
+    duration_days = duration / SECONDS_PER_DAY
+    mode = profile.temporal_mode
+    attempts_mean = profile.attempts_mean * attempts_scale
+    if mode is TemporalMode.CONTINUOUS:
+        rate_per_day = attempts_mean / 2.0
+        counts = np.maximum(
+            1, rng.poisson(max(rate_per_day * duration_days, 0.05), size=n_queriers)
+        )
+        activation = np.full(n_queriers, start)
+    else:
+        extra = max(attempts_mean - 1.0, 0.0)
+        counts = 1 + rng.poisson(extra, size=n_queriers)
+        if mode is TemporalMode.BURST:
+            burst_window = min(duration, max(duration * 0.25, 2 * 3600.0))
+            activation = start + rng.uniform(0.0, burst_window, size=n_queriers)
+        else:  # SWEEP
+            activation = start + rng.uniform(0.0, duration, size=n_queriers)
+    effective_ttl = _effective_ptr_ttl(ptr_spec)
+    times: list[np.ndarray] = []
+    owners: list[np.ndarray] = []
+    for i in range(n_queriers):
+        n = int(counts[i])
+        if mode is TemporalMode.CONTINUOUS:
+            attempt = start + rng.uniform(0.0, duration, size=n)
+        else:
+            # First attempt at activation; repeats spread over the hours
+            # after it (mail delivery retries, log-viewing re-resolution,
+            # second filtering passes), exponential with a 4-hour scale.
+            repeats = activation[i] + rng.exponential(14400.0, size=n - 1)
+            attempt = np.concatenate([[activation[i]], repeats])
+        attempt = np.clip(attempt, start, end - 1e-3)
+        if profile.diurnal.strength > 0.0:
+            kept = profile.diurnal.thin(attempt, rng)
+            # Never lose the querier entirely: keep at least one attempt.
+            attempt = kept if len(kept) else attempt[:1]
+        attempt = _dedup_by_ttl(attempt, effective_ttl)
+        times.append(attempt)
+        owners.append(np.full(len(attempt), i, dtype=int))
+    return np.concatenate(times), np.concatenate(owners)
+
+
+def build_campaign(
+    world: World,
+    app_class: str,
+    rng: np.random.Generator,
+    start: float,
+    duration_days: float | None = None,
+    audience_size: int | None = None,
+    variant: str | None = None,
+    team_block: Prefix | None = None,
+    originator: int | None = None,
+    home_country: str | None = None,
+    ptr_spec: PtrRecordSpec | None = None,
+) -> Campaign:
+    """Materialize one campaign of *app_class* beginning at *start*.
+
+    Everything not supplied is drawn from the class profile: duration
+    (exponential around the profile mean), audience size (lognormal,
+    clipped to both the profile cap and 40% of the world's queriers),
+    home country, originator placement, and the PTR record.
+    """
+    profile = PROFILES.get(app_class)
+    if profile is None:
+        raise ValueError(f"unknown application class {app_class!r}")
+    if app_class == "scan" and variant == "icmp":
+        # Appendix C: the research ICMP scanner (adaptive outage
+        # detection) adapts its probing to address-space usage, so its
+        # backscatter swings strongly with the day — unlike other
+        # scanning (Fig 16 shows 0-700 querier swings for scan-icmp).
+        from dataclasses import replace as _replace
+
+        from repro.activity.diurnal import DiurnalPattern
+
+        profile = _replace(
+            profile, diurnal=DiurnalPattern(strength=0.85, peak_hour=22.0)
+        )
+    if duration_days is None:
+        duration_days = max(
+            0.05, float(rng.exponential(profile.duration_days_mean))
+        )
+    end = start + duration_days * SECONDS_PER_DAY
+
+    if home_country is None:
+        if profile.originator_countries:
+            home_country = profile.originator_countries[
+                int(rng.integers(len(profile.originator_countries)))
+            ]
+        else:
+            codes = sorted(world.geo.countries)
+            weights = np.array(
+                [world.geo.countries[c].weight for c in codes], dtype=float
+            )
+            home_country = codes[int(rng.choice(len(codes), p=weights / weights.sum()))]
+
+    if originator is None:
+        if team_block is not None:
+            originator = world.allocate_in_block(rng, team_block)
+        else:
+            routed = rng.random() < profile.originator_routed_probability
+            if routed:
+                kind = profile.originator_kinds[
+                    int(rng.integers(len(profile.originator_kinds)))
+                ]
+                originator = allocate_routed_originator(
+                    world, rng, home_country, kind
+                )
+            else:
+                originator = world.allocate_originator(
+                    rng, country=home_country, routed=False
+                )
+
+    if audience_size is None:
+        drawn = rng.lognormal(profile.audience_logmu, profile.audience_logsigma)
+        cap = min(profile.audience_max, int(0.4 * len(world.queriers)))
+        audience_size = int(np.clip(drawn, 20, max(21, cap)))
+
+    # Per-campaign behavioural jitter: real activities of one class vary
+    # in rate and in geographic concentration; without this the dynamic
+    # features separate classes far more cleanly than the paper's data.
+    bias = float(np.clip(profile.home_country_bias + rng.normal(0.0, 0.15), 0.0, 0.95))
+    audience = world.sample_queriers(
+        rng,
+        audience_size,
+        _jitter_role_weights(profile.role_weights, profile.mix_concentration, rng),
+        country_weights=_country_weights(world, home_country, bias),
+    )
+    audience = _boost_nameless(world, audience, profile.nameless_boost, rng)
+    if not audience:
+        raise RuntimeError("audience sampling produced no queriers")
+
+    if app_class == "scan" and variant is None:
+        variant = SCAN_VARIANTS[int(rng.integers(len(SCAN_VARIANTS)))]
+
+    campaign = Campaign(
+        originator=originator,
+        app_class=app_class,
+        start=start,
+        end=end,
+        audience=tuple(audience),
+        ptr_spec=ptr_spec if ptr_spec is not None else _sample_ptr_spec(profile, rng),
+        home_country=home_country,
+        variant=variant,
+        targeted=bool(app_class == "scan" and rng.random() < 0.2),
+        team_block=team_block,
+    )
+    times, owners = _attempt_times(
+        profile,
+        len(audience),
+        start,
+        campaign.end,
+        campaign.ptr_spec,
+        rng,
+        attempts_scale=float(rng.lognormal(0.0, 0.4)),
+    )
+    campaign.set_events(times, owners)
+    return campaign

@@ -1,0 +1,364 @@
+"""The twelve application-class workload profiles (§ III-D).
+
+Each profile encodes the *causal story* the paper tells for one class of
+network-wide activity: which querier roles its targets induce (Fig 3),
+how geographically spread those queriers are (Table II's entropies),
+how large its audience footprint is and how it is shaped in time
+(Fig 9, Fig 10, Appendix C), and what the originator's own reverse record
+looks like (Tables VII/VIII: TTLs, nxdomain, unreachable zones).
+
+These parameters were tuned against the paper's case studies; they are
+data, not code — adjusting a profile reshapes the synthetic world without
+touching the sensor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.activity.diurnal import BUSINESS_HOURS, EVENING, FLAT, DiurnalPattern
+from repro.netmodel.asn import ASKind
+from repro.netmodel.namespace import QuerierRole
+
+__all__ = [
+    "APPLICATION_CLASSES",
+    "MALICIOUS_CLASSES",
+    "BENIGN_CLASSES",
+    "TemporalMode",
+    "PtrProfile",
+    "ClassProfile",
+    "PROFILES",
+    "SCAN_VARIANTS",
+]
+
+#: Canonical class names, in the paper's (alphabetical) order.
+APPLICATION_CLASSES: tuple[str, ...] = (
+    "ad-tracker",
+    "cdn",
+    "cloud",
+    "crawler",
+    "dns",
+    "mail",
+    "ntp",
+    "p2p",
+    "push",
+    "scan",
+    "spam",
+    "update",
+)
+
+#: § V's split: classes whose adversarial nature forces rapid churn.
+MALICIOUS_CLASSES: frozenset[str] = frozenset({"scan", "spam"})
+BENIGN_CLASSES: frozenset[str] = frozenset(APPLICATION_CLASSES) - MALICIOUS_CLASSES
+
+
+class TemporalMode(enum.Enum):
+    """How a campaign's lookups are spread over its lifetime."""
+
+    BURST = "burst"
+    """Everything in a short window at the start (a mailing-list sendout)."""
+    SWEEP = "sweep"
+    """Each querier first touched at a uniform time (a scanner walking space)."""
+    CONTINUOUS = "continuous"
+    """Steady activity across the whole campaign (CDN, trackers, push)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PtrProfile:
+    """Distribution of the originator's own reverse-DNS record."""
+
+    ttl_choices: tuple[float, ...] = (3600.0,)
+    ttl_weights: tuple[float, ...] = (1.0,)
+    has_name_probability: float = 0.9
+    reachable_probability: float = 0.98
+    negative_ttl_choices: tuple[float, ...] = (600.0, 900.0, 3600.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ClassProfile:
+    """Full generative description of one application class."""
+
+    name: str
+    role_weights: dict[QuerierRole, float]
+    nameless_boost: float = 0.0
+    """Extra probability of drawing a reverse-nameless querier (scanning
+    sweeps unmanaged space; mailing lists touch well-named mail hosts)."""
+    home_country_bias: float = 0.0
+    """0 = fully global audience; near 1 = concentrated on the
+    originator's home country (drives Table II's global entropy)."""
+    audience_logmu: float = 5.0
+    audience_logsigma: float = 0.8
+    audience_max: int = 6000
+    attempts_mean: float = 2.0
+    """Mean PTR lookup attempts per querier over the campaign (pre-cache)."""
+    mix_concentration: float = 10.0
+    """Dirichlet concentration for per-campaign role-mix jitter: each
+    campaign draws its own querier-role mix around ``role_weights``.
+    Lower values mean noisier, more overlapping classes — this is the
+    main knob behind the paper's "classification ... is not easy"
+    (Table III's 0.7–0.8, not 0.95)."""
+    temporal_mode: TemporalMode = TemporalMode.CONTINUOUS
+    diurnal: DiurnalPattern = FLAT
+    duration_days_mean: float = 2.0
+    originator_kinds: tuple[ASKind, ...] = (ASKind.HOSTING,)
+    originator_routed_probability: float = 1.0
+    originator_countries: tuple[str, ...] | None = None
+    """Restrict where originators live (None = weight by country size)."""
+    ptr: PtrProfile = field(default_factory=PtrProfile)
+    team_probability: float = 0.0
+    """Chance a campaign is born inside a coordinated /24 team (§ VI-B)."""
+
+
+_H = QuerierRole.HOME
+_M = QuerierRole.MAIL
+_N = QuerierRole.NS
+_F = QuerierRole.FIREWALL
+_A = QuerierRole.ANTISPAM
+_W = QuerierRole.WWW
+_T = QuerierRole.NTP
+_C = QuerierRole.CDN
+_AW = QuerierRole.AWS
+_MS = QuerierRole.MS
+_G = QuerierRole.GOOGLE
+_O = QuerierRole.OTHER
+
+
+PROFILES: dict[str, ClassProfile] = {
+    # Trackers are queried by end users' shared resolvers world-wide; a
+    # handful of companies produce very large footprints (top-100 heavy).
+    "ad-tracker": ClassProfile(
+        name="ad-tracker",
+        role_weights={_N: 0.42, _H: 0.18, _O: 0.22, _F: 0.08, _M: 0.06, _W: 0.04},
+        home_country_bias=0.25,
+        audience_logmu=6.75,
+        audience_logsigma=0.5,
+        attempts_mean=2.3,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=EVENING,
+        duration_days_mean=30.0,
+        originator_kinds=(ASKind.HOSTING, ASKind.CLOUD),
+        ptr=PtrProfile(
+            ttl_choices=(600.0, 900.0, 2580.0),
+            ttl_weights=(0.4, 0.3, 0.3),
+            has_name_probability=0.75,
+        ),
+    ),
+    # CDN nodes serve mostly home eyeballs near them: home-heavy querier
+    # mix (Fig 3) and low global entropy (Table II), short record TTLs.
+    "cdn": ClassProfile(
+        name="cdn",
+        role_weights={_H: 0.50, _N: 0.20, _O: 0.16, _F: 0.08, _M: 0.03, _W: 0.03},
+        home_country_bias=0.75,
+        audience_logmu=6.6,
+        audience_logsigma=0.7,
+        attempts_mean=4.4,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=EVENING,
+        duration_days_mean=45.0,
+        originator_kinds=(ASKind.CLOUD,),
+        ptr=PtrProfile(
+            ttl_choices=(60.0, 300.0, 600.0),
+            ttl_weights=(0.3, 0.4, 0.3),
+            has_name_probability=0.6,
+            reachable_probability=0.7,
+        ),
+    ),
+    # Cloud front ends (maps, drive, dropbox): big, global, stable.
+    "cloud": ClassProfile(
+        name="cloud",
+        role_weights={_N: 0.35, _H: 0.18, _O: 0.22, _F: 0.12, _M: 0.05, _AW: 0.04, _MS: 0.02, _G: 0.02},
+        home_country_bias=0.2,
+        audience_logmu=6.65,
+        audience_logsigma=0.5,
+        attempts_mean=2.8,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=EVENING,
+        duration_days_mean=60.0,
+        originator_kinds=(ASKind.CLOUD,),
+        originator_countries=("us", "de", "jp"),
+        ptr=PtrProfile(ttl_choices=(3600.0, 10800.0), ttl_weights=(0.6, 0.4)),
+    ),
+    # Crawlers run many parallel worker IPs: per-originator footprints are
+    # small (top-10000 only, Fig 10c), hitting web servers and firewalls.
+    "crawler": ClassProfile(
+        name="crawler",
+        role_weights={_N: 0.28, _F: 0.20, _W: 0.16, _O: 0.24, _H: 0.08, _M: 0.04},
+        home_country_bias=0.1,
+        audience_logmu=4.0,
+        audience_logsigma=0.5,
+        audience_max=400,
+        attempts_mean=1.8,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=FLAT,
+        duration_days_mean=30.0,
+        originator_kinds=(ASKind.CLOUD, ASKind.HOSTING),
+        ptr=PtrProfile(ttl_choices=(3600.0, 86400.0), ttl_weights=(0.5, 0.5)),
+    ),
+    # Large DNS servers (public resolvers, TLD servers) touched by many.
+    "dns": ClassProfile(
+        name="dns",
+        role_weights={_N: 0.48, _O: 0.26, _F: 0.12, _M: 0.08, _H: 0.06},
+        home_country_bias=0.15,
+        audience_logmu=5.4,
+        audience_logsigma=0.6,
+        attempts_mean=2.5,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=FLAT,
+        duration_days_mean=60.0,
+        originator_kinds=(ASKind.ISP, ASKind.CLOUD),
+        ptr=PtrProfile(ttl_choices=(86400.0,), ttl_weights=(1.0,), has_name_probability=0.98),
+    ),
+    # Legitimate mass mail: mail-server-heavy queriers, one lookup per
+    # message burst, business-hours diurnal, regionally concentrated.
+    "mail": ClassProfile(
+        name="mail",
+        role_weights={_M: 0.58, _N: 0.17, _A: 0.01, _F: 0.06, _H: 0.06, _O: 0.12},
+        home_country_bias=0.6,
+        audience_logmu=5.8,
+        audience_logsigma=0.7,
+        attempts_mean=1.7,
+        temporal_mode=TemporalMode.BURST,
+        diurnal=BUSINESS_HOURS,
+        duration_days_mean=1.0,
+        originator_kinds=(ASKind.HOSTING, ASKind.ENTERPRISE),
+        ptr=PtrProfile(
+            ttl_choices=(3600.0, 43200.0, 86400.0),
+            ttl_weights=(0.3, 0.3, 0.4),
+            has_name_probability=0.97,
+        ),
+    ),
+    # Public NTP servers: small steady audiences of infrastructure.
+    "ntp": ClassProfile(
+        name="ntp",
+        role_weights={_N: 0.30, _F: 0.24, _O: 0.28, _T: 0.10, _H: 0.08},
+        home_country_bias=0.3,
+        audience_logmu=4.6,
+        audience_logsigma=0.5,
+        audience_max=800,
+        attempts_mean=2.2,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=FLAT,
+        duration_days_mean=90.0,
+        originator_kinds=(ASKind.UNIVERSITY, ASKind.ISP),
+        ptr=PtrProfile(ttl_choices=(86400.0,), ttl_weights=(1.0,), has_name_probability=0.98),
+    ),
+    # Misbehaving peer-to-peer clients: home machines probing dynamic
+    # ports, partly into dark space (§ IV-C notes darknet hits).
+    "p2p": ClassProfile(
+        name="p2p",
+        role_weights={_H: 0.38, _N: 0.30, _O: 0.18, _F: 0.10, _M: 0.04},
+        nameless_boost=0.10,
+        home_country_bias=0.45,
+        audience_logmu=5.3,
+        audience_logsigma=0.7,
+        attempts_mean=3.0,
+        temporal_mode=TemporalMode.SWEEP,
+        diurnal=EVENING,
+        duration_days_mean=4.0,
+        originator_kinds=(ASKind.ISP, ASKind.MOBILE),
+        ptr=PtrProfile(
+            ttl_choices=(3600.0, 86400.0),
+            ttl_weights=(0.5, 0.5),
+            has_name_probability=0.8,
+        ),
+    ),
+    # Mobile push gateways (TCP 5223): carrier resolvers and firewalls.
+    "push": ClassProfile(
+        name="push",
+        role_weights={_N: 0.44, _F: 0.22, _O: 0.20, _H: 0.10, _M: 0.04},
+        home_country_bias=0.2,
+        audience_logmu=5.7,
+        audience_logsigma=0.5,
+        attempts_mean=2.6,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=EVENING,
+        duration_days_mean=60.0,
+        originator_kinds=(ASKind.CLOUD,),
+        originator_countries=("us",),
+        ptr=PtrProfile(ttl_choices=(3600.0,), ttl_weights=(1.0,)),
+    ),
+    # Scanners walk address space: shared resolvers, home space, heavy
+    # nxdomain, global spread, and often unrouted/unnamed originators.
+    "scan": ClassProfile(
+        name="scan",
+        role_weights={_N: 0.34, _H: 0.22, _F: 0.12, _O: 0.20, _W: 0.04, _M: 0.08},
+        nameless_boost=0.12,
+        home_country_bias=0.0,
+        audience_logmu=5.6,
+        audience_logsigma=1.1,
+        attempts_mean=3.5,
+        temporal_mode=TemporalMode.SWEEP,
+        diurnal=FLAT,
+        duration_days_mean=7.0,
+        originator_kinds=(ASKind.HOSTING, ASKind.CLOUD, ASKind.ISP),
+        originator_routed_probability=0.7,
+        ptr=PtrProfile(
+            ttl_choices=(0.0, 3600.0, 86400.0, 172800.0),
+            ttl_weights=(0.1, 0.3, 0.4, 0.2),
+            has_name_probability=0.5,
+            reachable_probability=0.6,
+        ),
+        team_probability=0.25,
+    ),
+    # Spam: mail/antispam-heavy queriers like legitimate mail, but more
+    # attempts (retries + filters), global spread, home-named or nameless
+    # originators, and the biggest footprints at the JP vantage (Fig 10a).
+    "spam": ClassProfile(
+        name="spam",
+        role_weights={_M: 0.49, _A: 0.02, _N: 0.16, _H: 0.10, _F: 0.06, _O: 0.17},
+        nameless_boost=0.03,
+        home_country_bias=0.1,
+        audience_logmu=6.1,
+        audience_logsigma=1.15,
+        attempts_mean=3.4,
+        temporal_mode=TemporalMode.SWEEP,
+        diurnal=FLAT,
+        duration_days_mean=3.0,
+        originator_kinds=(ASKind.ISP, ASKind.MOBILE, ASKind.HOSTING),
+        originator_routed_probability=0.9,
+        ptr=PtrProfile(
+            ttl_choices=(600.0, 3600.0, 28800.0, 86400.0),
+            ttl_weights=(0.15, 0.25, 0.3, 0.3),
+            has_name_probability=0.7,
+            reachable_probability=0.9,
+        ),
+    ),
+    # Vendor software-update services (Sony/Ricoh/Epson in JP): clients
+    # check back on a timer; a rare class (6 labeled examples in JP-ditl).
+    "update": ClassProfile(
+        name="update",
+        role_weights={_H: 0.30, _N: 0.30, _F: 0.14, _O: 0.22, _M: 0.04},
+        home_country_bias=0.8,
+        audience_logmu=5.5,
+        audience_logsigma=0.4,
+        attempts_mean=2.4,
+        temporal_mode=TemporalMode.CONTINUOUS,
+        diurnal=EVENING,
+        duration_days_mean=60.0,
+        originator_kinds=(ASKind.ENTERPRISE,),
+        originator_countries=("jp",),
+        ptr=PtrProfile(
+            ttl_choices=(86400.0,),
+            ttl_weights=(1.0,),
+            has_name_probability=0.9,
+            reachable_probability=0.8,
+        ),
+    ),
+}
+
+#: Port/protocol variants for the scan class, used by the darknet ground
+#: truth and the Fig 13 longitudinal examples.
+SCAN_VARIANTS: tuple[str, ...] = (
+    "icmp",
+    "tcp22",
+    "tcp23",
+    "tcp80",
+    "tcp443",
+    "udp53",
+    "udp123",
+    "multi",
+)
+
+if set(PROFILES) != set(APPLICATION_CLASSES):  # pragma: no cover - import guard
+    raise AssertionError("PROFILES out of sync with APPLICATION_CLASSES")

@@ -1,0 +1,103 @@
+"""Result analyses: footprints, trends, teams, consistency, caching."""
+
+from repro.analysis.alerts import Alert, SurgeDetector, detect_surges
+from repro.analysis.adversary import (
+    EvasionTrial,
+    QminTrial,
+    qmin_experiment,
+    spreading_experiment,
+)
+from repro.analysis.retired import (
+    RetiredService,
+    RetirementStudy,
+    retirement_experiment,
+)
+from repro.analysis.consistency import (
+    ConsistencyRecord,
+    consistency_ratios,
+    majority_fraction,
+    ratio_cdf,
+)
+from repro.analysis.coordination import (
+    TeamCoactivity,
+    coactivity_baseline,
+    team_coactivity,
+)
+from repro.analysis.drift import DriftPoint, DriftSeries, feature_drift
+from repro.analysis.controlled import (
+    ControlledTrial,
+    fit_power_law,
+    run_experiment,
+    run_trial,
+)
+from repro.analysis.footprint import (
+    TopNClassMix,
+    ccdf,
+    class_counts,
+    class_mix_of_top,
+    footprint_sizes,
+)
+from repro.analysis.longitudinal import (
+    AnalysisWindow,
+    WindowedAnalysis,
+    analyze_dataset,
+    curate_from_window,
+    slice_windows,
+)
+from repro.analysis.teams import TeamSummary, block_scan_series, find_teams
+from repro.analysis.trends import (
+    ChurnPoint,
+    FootprintBox,
+    churn_series,
+    class_count_series,
+    footprint_boxes,
+    originator_series,
+    reappearance_series,
+)
+
+__all__ = [
+    "Alert",
+    "SurgeDetector",
+    "detect_surges",
+    "RetiredService",
+    "RetirementStudy",
+    "retirement_experiment",
+    "EvasionTrial",
+    "QminTrial",
+    "qmin_experiment",
+    "spreading_experiment",
+    "ConsistencyRecord",
+    "consistency_ratios",
+    "majority_fraction",
+    "ratio_cdf",
+    "TeamCoactivity",
+    "coactivity_baseline",
+    "team_coactivity",
+    "DriftPoint",
+    "DriftSeries",
+    "feature_drift",
+    "ControlledTrial",
+    "fit_power_law",
+    "run_experiment",
+    "run_trial",
+    "TopNClassMix",
+    "ccdf",
+    "class_counts",
+    "class_mix_of_top",
+    "footprint_sizes",
+    "AnalysisWindow",
+    "WindowedAnalysis",
+    "analyze_dataset",
+    "curate_from_window",
+    "slice_windows",
+    "TeamSummary",
+    "block_scan_series",
+    "find_teams",
+    "ChurnPoint",
+    "FootprintBox",
+    "churn_series",
+    "class_count_series",
+    "footprint_boxes",
+    "originator_series",
+    "reappearance_series",
+]

@@ -1,0 +1,189 @@
+"""Adversarial countermeasures against the sensor (§ III-F).
+
+The paper notes two evasions an adversarial originator can attempt:
+
+* **spreading** — split the same total activity over many originator
+  IPs so each falls below the analyzability threshold ("Spreading
+  traffic from an activity across many separate originating IP
+  addresses ... reduces the signal.  We cannot prevent this
+  countermeasure, but it greatly increases the effort required");
+* **QNAME minimization at queriers** (§ VII) — not under the
+  originator's control, but it erodes the signal upstream of the
+  final authority; modeled in
+  :class:`repro.dnssim.resolver.ResolverConfig`.
+
+This module quantifies both against a national-level sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.base import build_campaign
+from repro.activity.engine import SimulationEngine
+from repro.dnssim.authority import Authority, AuthorityLevel
+from repro.dnssim.hierarchy import DnsHierarchy
+from repro.dnssim.resolver import ResolverConfig
+from repro.netmodel.world import World
+from repro.sensor.collection import collect_window
+
+__all__ = ["EvasionTrial", "spreading_experiment", "QminTrial", "qmin_experiment"]
+
+SECONDS_PER_DAY = 86400.0
+
+_SENSOR_CONFIG = ResolverConfig(national_warm_shared=0.85, national_warm_self=0.60)
+
+
+def _national_sim(
+    world: World, seed: int, country: str, resolver_config: ResolverConfig
+) -> tuple[DnsHierarchy, Authority]:
+    hierarchy = DnsHierarchy(world, seed=seed, resolver_config=resolver_config)
+    sensor = hierarchy.attach_national(
+        Authority(
+            name=f"{country}-dns",
+            level=AuthorityLevel.NATIONAL,
+            country=country,
+            scope_slash8=frozenset(world.geo.blocks_of(country)),
+        )
+    )
+    return hierarchy, sensor
+
+
+@dataclass(frozen=True, slots=True)
+class EvasionTrial:
+    """One spreading configuration's outcome at the sensor."""
+
+    n_originators: int
+    audience_per_originator: int
+    detected: int
+    """Originators that remained analyzable (>= threshold queriers)."""
+    largest_footprint: int
+
+    @property
+    def detected_fraction(self) -> float:
+        return self.detected / self.n_originators
+
+
+def spreading_experiment(
+    world: World,
+    splits: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    total_audience: int = 480,
+    app_class: str = "spam",
+    country: str = "jp",
+    duration_days: float = 2.0,
+    threshold: int = 20,
+    seed: int = 0,
+) -> list[EvasionTrial]:
+    """Split one activity across k originators and re-measure detection.
+
+    Total activity (audience touched) is held constant; only the number
+    of originating addresses varies, per § III-F's countermeasure.
+    """
+    trials: list[EvasionTrial] = []
+    for index, k in enumerate(splits):
+        rng = np.random.default_rng(seed + index * 31)
+        hierarchy, sensor = _national_sim(world, seed + index, country, _SENSOR_CONFIG)
+        engine = SimulationEngine(world, hierarchy)
+        per_originator = max(1, total_audience // k)
+        originators = []
+        for _ in range(k):
+            campaign = build_campaign(
+                world,
+                app_class,
+                rng,
+                start=0.0,
+                duration_days=duration_days,
+                audience_size=per_originator,
+                home_country=country,
+            )
+            engine.add(campaign)
+            originators.append(campaign.originator)
+        engine.run(0.0, duration_days * SECONDS_PER_DAY)
+        window = collect_window(
+            list(sensor.log), 0.0, duration_days * SECONDS_PER_DAY
+        )
+        footprints = [
+            window.observations[o].footprint if o in window.observations else 0
+            for o in originators
+        ]
+        trials.append(
+            EvasionTrial(
+                n_originators=k,
+                audience_per_originator=per_originator,
+                detected=sum(1 for f in footprints if f >= threshold),
+                largest_footprint=max(footprints, default=0),
+            )
+        )
+    return trials
+
+
+@dataclass(frozen=True, slots=True)
+class QminTrial:
+    """Sensor signal at one QNAME-minimization deployment level."""
+
+    qmin_fraction: float
+    attributable_queries: int
+    minimized_queries: int
+    analyzable_originators: int
+
+    @property
+    def signal_fraction(self) -> float:
+        total = self.attributable_queries + self.minimized_queries
+        return self.attributable_queries / total if total else 0.0
+
+
+def qmin_experiment(
+    world: World,
+    fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.95),
+    n_campaigns: int = 8,
+    app_class: str = "spam",
+    country: str = "jp",
+    duration_days: float = 2.0,
+    threshold: int = 20,
+    seed: int = 0,
+) -> list[QminTrial]:
+    """Sweep QNAME-minimization deployment and measure the sensor's loss.
+
+    The same campaign workload is replayed against hierarchies whose
+    resolvers minimize with increasing probability; above-the-final-
+    authority sensors lose exactly the minimized share of their signal.
+    """
+    trials: list[QminTrial] = []
+    for index, fraction in enumerate(fractions):
+        rng = np.random.default_rng(seed + 97)
+        config = ResolverConfig(
+            national_warm_shared=_SENSOR_CONFIG.national_warm_shared,
+            national_warm_self=_SENSOR_CONFIG.national_warm_self,
+            qname_minimization_fraction=fraction,
+        )
+        hierarchy, sensor = _national_sim(world, seed + 7, country, config)
+        engine = SimulationEngine(world, hierarchy)
+        for _ in range(n_campaigns):
+            engine.add(
+                build_campaign(
+                    world,
+                    app_class,
+                    rng,
+                    start=0.0,
+                    duration_days=duration_days,
+                    home_country=country,
+                )
+            )
+        engine.run(0.0, duration_days * SECONDS_PER_DAY)
+        window = collect_window(
+            list(sensor.log), 0.0, duration_days * SECONDS_PER_DAY
+        )
+        analyzable = sum(
+            1 for o in window.observations.values() if o.footprint >= threshold
+        )
+        trials.append(
+            QminTrial(
+                qmin_fraction=fraction,
+                attributable_queries=sensor.seen_reverse,
+                minimized_queries=sensor.seen_minimized,
+                analyzable_originators=analyzable,
+            )
+        )
+    return trials

@@ -1,0 +1,85 @@
+"""Classification consistency over time: the r-ratio (§ V-E, Fig 8).
+
+For each originator classified in several windows, r is the fraction of
+windows in which its most common (preferred) class was assigned.  The
+paper reports the CDF of r for originators with at least q queriers
+(q ∈ {20, 50, 75, 100}): more queriers → more consistent classifications,
+and 85-90% of originators have a strict-majority class (r > 0.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.longitudinal import WindowedAnalysis
+
+__all__ = ["ConsistencyRecord", "consistency_ratios", "ratio_cdf", "majority_fraction"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyRecord:
+    """One originator's voting summary across windows."""
+
+    originator: int
+    appearances: int
+    preferred_class: str
+    r: float
+    min_footprint: int
+
+
+def consistency_ratios(
+    analysis: WindowedAnalysis,
+    min_queriers: int = 20,
+    min_appearances: int = 4,
+) -> list[ConsistencyRecord]:
+    """r per originator, over windows where its footprint >= min_queriers.
+
+    Only originators appearing in at least *min_appearances* windows are
+    reported (the paper uses four or more samples to avoid overly
+    quantized distributions).
+    """
+    votes: dict[int, list[str]] = {}
+    footprints: dict[int, list[int]] = {}
+    for window in analysis.windows:
+        for originator, app_class in window.classification.items():
+            observation = window.observations.observations.get(originator)
+            if observation is None or observation.footprint < min_queriers:
+                continue
+            votes.setdefault(originator, []).append(app_class)
+            footprints.setdefault(originator, []).append(observation.footprint)
+    records: list[ConsistencyRecord] = []
+    for originator, classes in votes.items():
+        if len(classes) < min_appearances:
+            continue
+        counts = Counter(classes)
+        preferred, preferred_count = counts.most_common(1)[0]
+        records.append(
+            ConsistencyRecord(
+                originator=originator,
+                appearances=len(classes),
+                preferred_class=preferred,
+                r=preferred_count / len(classes),
+                min_footprint=min(footprints[originator]),
+            )
+        )
+    return records
+
+
+def ratio_cdf(records: list[ConsistencyRecord]) -> tuple[np.ndarray, np.ndarray]:
+    """CDF points (r, P[R <= r]) for Fig 8."""
+    if not records:
+        return np.array([]), np.array([])
+    values = np.sort(np.array([record.r for record in records]))
+    cumulative = np.arange(1, len(values) + 1) / len(values)
+    return values, cumulative
+
+
+def majority_fraction(records: list[ConsistencyRecord]) -> float:
+    """Fraction of originators whose preferred class is a strict majority
+    (r > 0.5) — the paper's 85-90% headline."""
+    if not records:
+        return 0.0
+    return sum(1 for record in records if record.r > 0.5) / len(records)

@@ -1,0 +1,117 @@
+"""Temporal co-activity of candidate scan teams (§ VI-B follow-up).
+
+The paper flags /24 blocks with 4+ scanning addresses as candidate
+teams but notes it "cannot confirm coordination" without direct scan
+traffic — backscatter only "suggests networks for closer examination".
+This module performs that closer examination with the data backscatter
+*does* have: if the members of a block are a coordinated operation,
+their active weeks should overlap far more than those of random
+scanners drawn from different blocks.
+
+Co-activity is the mean pairwise Jaccard similarity of the members'
+active-window sets; the baseline is the same statistic over random
+scanner pairs from distinct /24s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis.longitudinal import WindowedAnalysis
+from repro.netmodel.addressing import slash24
+
+__all__ = ["TeamCoactivity", "team_coactivity", "coactivity_baseline"]
+
+
+def _active_windows(
+    analysis: WindowedAnalysis, team_class: str
+) -> dict[int, set[int]]:
+    """Originator → indices of windows where it was classified *team_class*."""
+    active: dict[int, set[int]] = {}
+    for window in analysis.windows:
+        for originator, app_class in window.classification.items():
+            if app_class == team_class:
+                active.setdefault(originator, set()).add(window.index)
+    return active
+
+
+def _jaccard(a: set[int], b: set[int]) -> float:
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+def _mean_pairwise_jaccard(members: list[set[int]]) -> float:
+    pairs = list(combinations(members, 2))
+    if not pairs:
+        return float("nan")
+    return float(np.mean([_jaccard(a, b) for a, b in pairs]))
+
+
+@dataclass(frozen=True, slots=True)
+class TeamCoactivity:
+    """Co-activity verdict for one candidate team block."""
+
+    block: int
+    members: int
+    coactivity: float
+    baseline: float
+
+    @property
+    def lift(self) -> float:
+        """Co-activity relative to random scanner pairs (>1 = coordinated-looking)."""
+        if self.baseline <= 0:
+            return float("inf") if self.coactivity > 0 else float("nan")
+        return self.coactivity / self.baseline
+
+
+def coactivity_baseline(
+    analysis: WindowedAnalysis,
+    team_class: str = "scan",
+    samples: int = 500,
+    seed: int = 0,
+) -> float:
+    """Mean Jaccard of random cross-block scanner pairs."""
+    active = _active_windows(analysis, team_class)
+    originators = sorted(active)
+    if len(originators) < 2:
+        return float("nan")
+    rng = np.random.default_rng(seed)
+    values: list[float] = []
+    for _ in range(samples):
+        a, b = rng.choice(len(originators), size=2, replace=False)
+        first, second = originators[int(a)], originators[int(b)]
+        if slash24(first) == slash24(second):
+            continue  # want cross-block pairs only
+        values.append(_jaccard(active[first], active[second]))
+    return float(np.mean(values)) if values else float("nan")
+
+
+def team_coactivity(
+    analysis: WindowedAnalysis,
+    team_size: int = 4,
+    team_class: str = "scan",
+    seed: int = 0,
+) -> list[TeamCoactivity]:
+    """Score every 4+-member block's temporal co-activity against baseline."""
+    active = _active_windows(analysis, team_class)
+    blocks: dict[int, list[set[int]]] = {}
+    for originator, windows in active.items():
+        blocks.setdefault(slash24(originator), []).append(windows)
+    baseline = coactivity_baseline(analysis, team_class, seed=seed)
+    results: list[TeamCoactivity] = []
+    for block, members in sorted(blocks.items()):
+        if len(members) < team_size:
+            continue
+        results.append(
+            TeamCoactivity(
+                block=block,
+                members=len(members),
+                coactivity=_mean_pairwise_jaccard(members),
+                baseline=baseline,
+            )
+        )
+    results.sort(key=lambda t: -t.members)
+    return results

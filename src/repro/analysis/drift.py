@@ -1,0 +1,130 @@
+"""Feature drift of labeled examples over time (§ V-B's mechanism).
+
+Figure 7's train-once degradation has a cause the paper states directly:
+"Even though there are a fair number of examples, the feature vectors
+those examples exhibit change quickly — we must retrain on new feature
+values to capture this shift."  This module measures that shift: for
+each labeled example, the distance between its feature vector in window
+t and its curation-window vector, aggregated per class group.
+
+Distances are Euclidean over standardized features (each feature scaled
+by its population standard deviation across all windows), so fractions
+and rates contribute comparably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.classes import BENIGN_CLASSES, MALICIOUS_CLASSES
+from repro.analysis.longitudinal import WindowedAnalysis
+from repro.sensor.curation import LabeledSet
+
+__all__ = ["DriftPoint", "DriftSeries", "feature_drift"]
+
+
+@dataclass(frozen=True, slots=True)
+class DriftPoint:
+    """Mean standardized feature distance from curation at one window."""
+
+    day: float
+    mean_distance: float
+    examples: int
+
+
+@dataclass(slots=True)
+class DriftSeries:
+    benign: list[DriftPoint]
+    malicious: list[DriftPoint]
+    curation_day: float
+
+    @staticmethod
+    def _slope(points: list[DriftPoint]) -> float:
+        usable = [p for p in points if p.examples > 0]
+        if len(usable) < 3:
+            return float("nan")
+        x = np.array([p.day for p in usable])
+        y = np.array([p.mean_distance for p in usable])
+        return float(np.polyfit(x, y, 1)[0])
+
+    def benign_slope(self) -> float:
+        return self._slope(self.benign)
+
+    def malicious_slope(self) -> float:
+        return self._slope(self.malicious)
+
+
+def _group_of(app_class: str) -> str:
+    if app_class in MALICIOUS_CLASSES:
+        return "malicious"
+    if app_class in BENIGN_CLASSES:
+        return "benign"
+    return "other"
+
+
+def feature_drift(
+    analysis: WindowedAnalysis,
+    labeled: LabeledSet,
+    curation_day: float | None = None,
+) -> DriftSeries:
+    """Per-window mean feature distance from curation, by class group.
+
+    Examples only contribute to windows where they are analyzable; the
+    reference vector is the example's own vector in the window containing
+    the curation day (examples absent there are skipped).
+    """
+    if curation_day is None:
+        days = [example.curated_day for example in labeled]
+        if not days:
+            raise ValueError("labeled set is empty")
+        curation_day = float(np.median(days))
+    reference_window = analysis.window_containing(curation_day)
+    if reference_window is None:
+        raise ValueError(f"no window contains curation day {curation_day}")
+
+    # Population scale per feature, over every analyzable originator.
+    stacks = [w.features.matrix for w in analysis.windows if len(w.features)]
+    if not stacks:
+        raise ValueError("analysis has no feature vectors")
+    population = np.vstack(stacks)
+    scale = population.std(axis=0)
+    scale[scale == 0] = 1.0
+
+    references: dict[int, np.ndarray] = {}
+    for example in labeled:
+        row = reference_window.features.row_of(example.originator)
+        if row is not None:
+            references[example.originator] = row / scale
+
+    series: dict[str, list[DriftPoint]] = {"benign": [], "malicious": []}
+    for window in analysis.windows:
+        distances: dict[str, list[float]] = {"benign": [], "malicious": []}
+        for example in labeled:
+            reference = references.get(example.originator)
+            if reference is None:
+                continue
+            group = _group_of(example.app_class)
+            if group == "other":
+                continue
+            row = window.features.row_of(example.originator)
+            if row is None:
+                continue
+            distances[group].append(
+                float(np.linalg.norm(row / scale - reference))
+            )
+        for group in ("benign", "malicious"):
+            values = distances[group]
+            series[group].append(
+                DriftPoint(
+                    day=window.mid_day,
+                    mean_distance=float(np.mean(values)) if values else float("nan"),
+                    examples=len(values),
+                )
+            )
+    return DriftSeries(
+        benign=series["benign"],
+        malicious=series["malicious"],
+        curation_day=curation_day,
+    )

@@ -1,0 +1,92 @@
+"""Footprint analyses: size distributions and top-N class mixes (§ VI-A/B).
+
+The *footprint* of an originator is its unique-querier count at the
+sensor — a caching-attenuated proxy for how much of the Internet the
+activity touched.  These helpers produce the paper's Fig 9 (heavy-tailed
+footprint distribution), Fig 10 (class mix of the top-100/1000/10000),
+and Table V (originators per class).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensor.collection import ObservationWindow
+from repro.sensor.selection import rank_by_footprint
+
+__all__ = [
+    "footprint_sizes",
+    "ccdf",
+    "TopNClassMix",
+    "class_mix_of_top",
+    "class_counts",
+]
+
+
+def footprint_sizes(window: ObservationWindow, min_queriers: int = 1) -> np.ndarray:
+    """All originator footprints in the window, descending."""
+    sizes = np.array(
+        sorted(
+            (
+                observation.footprint
+                for observation in window.observations.values()
+                if observation.footprint >= min_queriers
+            ),
+            reverse=True,
+        ),
+        dtype=np.int64,
+    )
+    return sizes
+
+
+def ccdf(sizes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF points (x, P[footprint >= x]) — Fig 9's curves."""
+    if len(sizes) == 0:
+        return np.array([]), np.array([])
+    ordered = np.sort(np.asarray(sizes))
+    unique, first_index = np.unique(ordered, return_index=True)
+    survival = 1.0 - first_index / len(ordered)
+    return unique.astype(float), survival
+
+
+@dataclass(frozen=True, slots=True)
+class TopNClassMix:
+    """Class fractions among the N largest-footprint originators."""
+
+    n: int
+    fractions: dict[str, float]
+    counts: dict[str, int]
+
+    def fraction(self, app_class: str) -> float:
+        return self.fractions.get(app_class, 0.0)
+
+
+def class_mix_of_top(
+    window: ObservationWindow,
+    classification: dict[int, str],
+    n: int,
+    min_queriers: int = 20,
+) -> TopNClassMix:
+    """Fig 10: the class mix of the top-N originators by footprint.
+
+    Originators without a classification (not analyzable, or dropped by
+    the pipeline) count into an ``other`` bucket, as the paper's figures
+    do.
+    """
+    ranked = rank_by_footprint(
+        [o for o in window.observations.values() if o.footprint >= min_queriers]
+    )[:n]
+    counts: Counter[str] = Counter()
+    for observation in ranked:
+        counts[classification.get(observation.originator, "other")] += 1
+    total = sum(counts.values())
+    fractions = {k: v / total for k, v in counts.items()} if total else {}
+    return TopNClassMix(n=n, fractions=fractions, counts=dict(counts))
+
+
+def class_counts(classification: dict[int, str]) -> dict[str, int]:
+    """Table V: number of originators classified into each class."""
+    return dict(Counter(classification.values()))

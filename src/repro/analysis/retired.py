@@ -1,0 +1,154 @@
+"""Retired-service detection (§ VI-B's "new and old observations").
+
+The paper finds originators that are *retired* services — four old root
+DNS server addresses, two decommissioned cloud mail servers, one prior
+NTP server — still drawing traffic from overly-sticky clients years
+later, and suggests backscatter "can be used to systematically identify
+overly-sticky, outdated clients across many services".
+
+We model a service that retires at a known day: its client population
+stops being refreshed and decays exponentially (clients only leave when
+someone fixes a config), while each remaining client keeps touching the
+dead address and triggering reverse lookups.  The sensor keeps seeing
+the originator for months — with a monotonically shrinking footprint,
+which is precisely the detection signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.base import build_campaign
+from repro.activity.engine import SimulationEngine
+from repro.dnssim.authority import Authority, AuthorityLevel
+from repro.dnssim.hierarchy import DnsHierarchy
+from repro.dnssim.resolver import ResolverConfig
+from repro.netmodel.world import World
+from repro.sensor.collection import collect_window
+
+__all__ = ["RetiredService", "RetirementStudy", "retirement_experiment"]
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class RetiredService:
+    """One retired service and its weekly footprint at the sensor."""
+
+    originator: int
+    app_class: str
+    retired_day: float
+    weekly_footprints: tuple[int, ...]
+
+    def weeks_visible_after_retirement(self, threshold: int = 10) -> int:
+        retired_week = int(self.retired_day // 7)
+        return sum(
+            1
+            for week, footprint in enumerate(self.weekly_footprints)
+            if week >= retired_week and footprint >= threshold
+        )
+
+    def decays_after_retirement(self) -> bool:
+        """Footprint trend after retirement is downward (robust slope)."""
+        retired_week = int(self.retired_day // 7)
+        tail = self.weekly_footprints[retired_week:]
+        if len(tail) < 3:
+            return False
+        x = np.arange(len(tail), dtype=float)
+        slope = np.polyfit(x, np.array(tail, dtype=float), 1)[0]
+        return slope < 0
+
+
+@dataclass(slots=True)
+class RetirementStudy:
+    services: list[RetiredService]
+    duration_days: float
+
+
+def retirement_experiment(
+    world: World,
+    n_services: int = 3,
+    duration_days: float = 84.0,
+    retired_day: float = 21.0,
+    initial_audience: int = 400,
+    decay_halflife_days: float = 28.0,
+    country: str = "jp",
+    seed: int = 0,
+) -> RetirementStudy:
+    """Simulate services retiring mid-observation and track their decay.
+
+    Each service runs at full audience until *retired_day*; afterwards
+    weekly campaigns reuse the same originator with an audience halved
+    every *decay_halflife_days* (sticky clients dropping off as they are
+    noticed and fixed).
+    """
+    rng = np.random.default_rng(seed)
+    hierarchy = DnsHierarchy(
+        world,
+        seed=seed + 1,
+        resolver_config=ResolverConfig(
+            national_warm_shared=0.85, national_warm_self=0.60
+        ),
+    )
+    sensor = hierarchy.attach_national(
+        Authority(
+            name=f"{country}-dns",
+            level=AuthorityLevel.NATIONAL,
+            country=country,
+            scope_slash8=frozenset(world.geo.blocks_of(country)),
+        )
+    )
+    engine = SimulationEngine(world, hierarchy)
+    services: list[tuple[int, str]] = []
+    for index in range(n_services):
+        app_class = ("dns", "ntp", "mail")[index % 3]
+        originator: int | None = None
+        week = 0
+        while week * 7 < duration_days:
+            week_start_day = week * 7.0
+            if week_start_day < retired_day:
+                audience = initial_audience
+            else:
+                age = week_start_day - retired_day
+                audience = int(initial_audience * 0.5 ** (age / decay_halflife_days))
+            if audience >= 5:
+                campaign = build_campaign(
+                    world,
+                    app_class,
+                    rng,
+                    start=week_start_day * SECONDS_PER_DAY,
+                    duration_days=7.0,
+                    audience_size=max(20, audience),
+                    home_country=country,
+                    originator=originator,
+                )
+                originator = campaign.originator
+                engine.add(campaign)
+            week += 1
+        if originator is not None:
+            services.append((originator, app_class))
+    engine.run(0.0, duration_days * SECONDS_PER_DAY)
+    entries = list(sensor.log)
+    results: list[RetiredService] = []
+    n_weeks = int(np.ceil(duration_days / 7.0))
+    for originator, app_class in services:
+        footprints = []
+        for week in range(n_weeks):
+            window = collect_window(
+                [e for e in entries if e.originator == originator],
+                week * 7 * SECONDS_PER_DAY,
+                (week + 1) * 7 * SECONDS_PER_DAY,
+            )
+            observation = window.observations.get(originator)
+            footprints.append(observation.footprint if observation else 0)
+        results.append(
+            RetiredService(
+                originator=originator,
+                app_class=app_class,
+                retired_day=retired_day,
+                weekly_footprints=tuple(footprints),
+            )
+        )
+    return RetirementStudy(services=results, duration_days=duration_days)

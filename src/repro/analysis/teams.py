@@ -1,0 +1,97 @@
+"""Coordinated-scanner team detection (§ VI-B, Fig 14).
+
+The paper's "very simple model": a team is multiple originators in the
+same /24 block.  From classifications it reports how many /24s host
+scanning, how many host 4+ scanners, and how many of those are
+single-class (the likely genuine teams).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.longitudinal import WindowedAnalysis
+from repro.netmodel.addressing import slash24
+
+__all__ = ["TeamSummary", "find_teams", "block_scan_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class TeamSummary:
+    """§ VI-B's team statistics over a whole analysis."""
+
+    scan_originators: int
+    scan_blocks: int
+    blocks_with_4plus: int
+    single_class_teams: int
+    multi_class_blocks: int
+    best_block_purity: float
+    """Highest scan-member share among the 4+ blocks (1.0 = pure team)."""
+
+
+def find_teams(
+    analysis: WindowedAnalysis, team_size: int = 4, team_class: str = "scan"
+) -> tuple[TeamSummary, dict[int, set[int]]]:
+    """Aggregate (block → member IPs) over all windows and summarize.
+
+    Each originator is assigned its *majority* class across the windows
+    it was classified in (the paper votes weekly classifications per
+    originator, § V-E) — without this, one week of misclassification
+    would mark an otherwise pure team block as multi-class.  Returns the
+    summary plus the /24 → member map for blocks that reach *team_size*
+    members of *team_class*.
+    """
+    from collections import Counter
+
+    votes: dict[int, Counter[str]] = defaultdict(Counter)
+    for window in analysis.windows:
+        for originator, app_class in window.classification.items():
+            votes[originator][app_class] += 1
+    majority = {
+        originator: counts.most_common(1)[0][0] for originator, counts in votes.items()
+    }
+    class_members: dict[int, set[int]] = defaultdict(set)   # block -> scan IPs
+    block_classes: dict[int, set[str]] = defaultdict(set)   # block -> classes seen
+    for originator, app_class in majority.items():
+        block = slash24(originator)
+        block_classes[block].add(app_class)
+        if app_class == team_class:
+            class_members[block].add(originator)
+    scan_blocks = {b: ips for b, ips in class_members.items() if ips}
+    big = {b: ips for b, ips in scan_blocks.items() if len(ips) >= team_size}
+    single_class = {
+        b: ips for b, ips in big.items() if block_classes[b] == {team_class}
+    }
+    block_population: dict[int, int] = defaultdict(int)
+    for originator in majority:
+        block_population[slash24(originator)] += 1
+    purities = [
+        len(ips) / block_population[b] for b, ips in big.items() if block_population[b]
+    ]
+    summary = TeamSummary(
+        scan_originators=sum(len(ips) for ips in scan_blocks.values()),
+        scan_blocks=len(scan_blocks),
+        blocks_with_4plus=len(big),
+        single_class_teams=len(single_class),
+        multi_class_blocks=len(big) - len(single_class),
+        best_block_purity=max(purities, default=0.0),
+    )
+    return summary, big
+
+
+def block_scan_series(
+    analysis: WindowedAnalysis, blocks: list[int], team_class: str = "scan"
+) -> dict[int, list[tuple[float, int]]]:
+    """Fig 14: per /24 block, (day, #addresses scanning) over time."""
+    series: dict[int, list[tuple[float, int]]] = {b: [] for b in blocks}
+    for window in analysis.windows:
+        per_block: dict[int, int] = defaultdict(int)
+        for originator, app_class in window.classification.items():
+            if app_class == team_class:
+                per_block[slash24(originator)] += 1
+        for block in blocks:
+            count = per_block.get(block, 0)
+            if count:
+                series[block].append((window.mid_day, count))
+    return series

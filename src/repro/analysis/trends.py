@@ -1,0 +1,167 @@
+"""Longitudinal trend analyses (§ V-A, § VI-C).
+
+Built on :class:`~repro.analysis.longitudinal.WindowedAnalysis`:
+
+* per-window class counts (Fig 11, including the Heartbleed bump);
+* footprint distribution statistics over time (Fig 12's box plot);
+* per-originator footprint series (Fig 13's example scanners);
+* week-by-week churn: new / continuing / departing originators (Fig 15);
+* labeled-example reappearance counts around a curation day (Figs 5/6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.classes import BENIGN_CLASSES, MALICIOUS_CLASSES
+from repro.analysis.longitudinal import WindowedAnalysis
+from repro.sensor.curation import LabeledSet
+
+__all__ = [
+    "class_count_series",
+    "FootprintBox",
+    "footprint_boxes",
+    "originator_series",
+    "ChurnPoint",
+    "churn_series",
+    "reappearance_series",
+]
+
+
+def class_count_series(
+    analysis: WindowedAnalysis, classes: tuple[str, ...] | None = None
+) -> list[tuple[float, dict[str, int], int]]:
+    """Fig 11: per window, (mid-day, counts per class, total classified)."""
+    series = []
+    for window in analysis.windows:
+        counts = Counter(window.classification.values())
+        if classes is not None:
+            counts = Counter({c: counts.get(c, 0) for c in classes})
+        series.append((window.mid_day, dict(counts), sum(counts.values())))
+    return series
+
+
+@dataclass(frozen=True, slots=True)
+class FootprintBox:
+    """One box of Fig 12: footprint quantiles for one window."""
+
+    day: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    count: int
+
+
+def footprint_boxes(
+    analysis: WindowedAnalysis, app_class: str = "scan", min_count: int = 3
+) -> list[FootprintBox]:
+    """Fig 12: distribution of queriers-per-originator for one class.
+
+    Windows with fewer than *min_count* members are skipped — quantiles
+    of one or two samples say nothing about the distribution.
+    """
+    boxes: list[FootprintBox] = []
+    for window in analysis.windows:
+        members = [
+            o for o, c in window.classification.items() if c == app_class
+        ]
+        sizes = [
+            window.observations.observations[m].footprint
+            for m in members
+            if m in window.observations.observations
+        ]
+        if len(sizes) < max(1, min_count):
+            continue
+        q = np.percentile(sizes, [10, 25, 50, 75, 90])
+        boxes.append(
+            FootprintBox(
+                day=window.mid_day,
+                p10=float(q[0]),
+                p25=float(q[1]),
+                median=float(q[2]),
+                p75=float(q[3]),
+                p90=float(q[4]),
+                count=len(sizes),
+            )
+        )
+    return boxes
+
+
+def originator_series(
+    analysis: WindowedAnalysis, originators: list[int]
+) -> dict[int, list[tuple[float, int]]]:
+    """Fig 13: per-originator (day, footprint) series across windows."""
+    series: dict[int, list[tuple[float, int]]] = {o: [] for o in originators}
+    for window in analysis.windows:
+        for originator in originators:
+            observation = window.observations.observations.get(originator)
+            if observation is not None and observation.footprint > 0:
+                series[originator].append((window.mid_day, observation.footprint))
+    return series
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnPoint:
+    """Fig 15: one window's churn of a class's originators."""
+
+    day: float
+    new: int
+    continuing: int
+    departing: int
+
+    @property
+    def total(self) -> int:
+        return self.new + self.continuing
+
+
+def churn_series(analysis: WindowedAnalysis, app_class: str = "scan") -> list[ChurnPoint]:
+    """Week-by-week new/continuing/departing originators of a class."""
+    points: list[ChurnPoint] = []
+    previous: set[int] = set()
+    for index, window in enumerate(analysis.windows):
+        members = {o for o, c in window.classification.items() if c == app_class}
+        new = len(members - previous)
+        continuing = len(members & previous)
+        departing = len(previous - members)
+        if index > 0 or members:
+            points.append(
+                ChurnPoint(
+                    day=window.mid_day, new=new, continuing=continuing, departing=departing
+                )
+            )
+        previous = members
+    return points
+
+
+def reappearance_series(
+    analysis: WindowedAnalysis,
+    labeled: LabeledSet,
+    group: str = "benign",
+) -> list[tuple[float, int]]:
+    """Figs 5/6: how many curated examples are still active per window.
+
+    ``group`` is ``"benign"``, ``"malicious"``, or a single class name.
+    An example "re-appears" when its originator is analyzable in the
+    window (≥ the querier threshold), i.e. its campaign is still running.
+    """
+    if group == "benign":
+        wanted = BENIGN_CLASSES
+    elif group == "malicious":
+        wanted = MALICIOUS_CLASSES
+    else:
+        wanted = frozenset({group})
+    targets = {
+        example.originator
+        for example in labeled
+        if example.app_class in wanted
+    }
+    series: list[tuple[float, int]] = []
+    for window in analysis.windows:
+        present = targets & window.originators()
+        series.append((window.mid_day, len(present)))
+    return series

@@ -1,0 +1,152 @@
+"""Command-line interface: generate datasets, classify logs, render figures.
+
+Subcommands:
+
+* ``repro generate <dataset> -o DIR`` — generate a Table I dataset and
+  write its query log (text + framed binary), querier directory, and
+  ground-truth labels to files;
+* ``repro classify -l LOG -d DIR -t LABELS`` — run the sensor pipeline
+  on a serialized log: collect, featurize, train on the labels, print
+  classifications;
+* ``repro figures -o DIR`` — render the implemented paper figures as SVG;
+* ``repro experiments ...`` — forwarded to :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.netmodel.addressing import ip_to_str, str_to_ip
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import spec_for, generate_dataset, write_directory, write_log
+    from repro.datasets.dnstap import write_frames
+
+    spec = spec_for(args.dataset, args.preset)
+    print(f"generating {spec.name} (preset={args.preset}) …", flush=True)
+    dataset = generate_dataset(spec)
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    log_path = output / f"{spec.name}.log"
+    frames_path = output / f"{spec.name}.rbsc"
+    directory_path = output / f"{spec.name}.queriers.jsonl"
+    labels_path = output / f"{spec.name}.labels.json"
+    entries = list(dataset.sensor.log)
+    write_log(log_path, entries)
+    write_frames(frames_path, entries)
+    world_directory = dataset.directory()
+    write_directory(
+        directory_path,
+        (world_directory.lookup(q.addr) for q in dataset.world.queriers),
+    )
+    labels_path.write_text(
+        json.dumps(
+            {ip_to_str(o): c for o, c in sorted(dataset.true_classes().items())},
+            indent=0,
+        )
+    )
+    print(f"wrote {len(entries):,} entries to {log_path} (+ {frames_path.name})")
+    print(f"wrote querier directory to {directory_path}")
+    print(f"wrote ground-truth labels to {labels_path}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.datasets import read_directory, read_log
+    from repro.sensor import BackscatterPipeline, LabeledSet, collect_window, extract_features
+
+    entries = read_log(args.log)
+    if not entries:
+        print("log is empty", file=sys.stderr)
+        return 1
+    directory = read_directory(args.directory)
+    start = entries[0].timestamp if args.start is None else args.start
+    end = entries[-1].timestamp + 1.0 if args.end is None else args.end
+    window = collect_window(entries, start, end)
+    features = extract_features(window, directory, args.min_queriers)
+    print(f"{len(window)} originators observed, {len(features)} analyzable")
+    raw_labels = json.loads(Path(args.labels).read_text())
+    labeled = LabeledSet.from_pairs(
+        (str_to_ip(addr), app_class) for addr, app_class in raw_labels.items()
+    )
+    present = labeled.restrict_to({int(o) for o in features.originators})
+    if len(present) < 4:
+        print("too few labeled originators appear in the log", file=sys.stderr)
+        return 1
+    pipeline = BackscatterPipeline(directory, min_queriers=args.min_queriers)
+    pipeline.fit(features, present)
+    verdicts = sorted(pipeline.classify(features), key=lambda v: -v.footprint)
+    print(f"{'originator':<16} {'queriers':>8}  class")
+    for verdict in verdicts[: args.top]:
+        print(f"{ip_to_str(verdict.originator):<16} {verdict.footprint:>8}  {verdict.app_class}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz import render_all
+
+    written = render_all(args.output, preset=args.preset)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    forwarded = list(args.names)
+    if args.list:
+        forwarded.append("--list")
+    if args.all_cheap:
+        forwarded.append("--all-cheap")
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DNS backscatter sensor (paper reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", help="dataset name, e.g. JP-ditl")
+    generate.add_argument("-o", "--output", default="datasets", help="output directory")
+    generate.add_argument("--preset", default="default", choices=("default", "tiny"))
+    generate.set_defaults(func=_cmd_generate)
+
+    classify = commands.add_parser("classify", help="classify a serialized log")
+    classify.add_argument("-l", "--log", required=True, help="query log file")
+    classify.add_argument("-d", "--directory", required=True, help="querier directory (jsonl)")
+    classify.add_argument("-t", "--labels", required=True, help="labels json (ip -> class)")
+    classify.add_argument("--start", type=float, default=None)
+    classify.add_argument("--end", type=float, default=None)
+    classify.add_argument("--min-queriers", type=int, default=20)
+    classify.add_argument("--top", type=int, default=30, help="rows to print")
+    classify.set_defaults(func=_cmd_classify)
+
+    figures = commands.add_parser("figures", help="render paper figures as SVG")
+    figures.add_argument("-o", "--output", default="figures")
+    figures.add_argument("--preset", default="default", choices=("default", "tiny"))
+    figures.set_defaults(func=_cmd_figures)
+
+    experiments = commands.add_parser("experiments", help="run experiment modules")
+    experiments.add_argument("names", nargs="*", help="experiment names")
+    experiments.add_argument("--list", action="store_true")
+    experiments.add_argument("--all-cheap", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

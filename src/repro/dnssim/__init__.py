@@ -1,0 +1,50 @@
+"""DNS substrate: messages, TTL caches, reverse zones, resolvers, sensors.
+
+Implements the resolution path of Figure 1 in the paper: querier →
+recursive caches → (root | national | final) authorities, with the caching
+attenuation that makes backscatter a sampled signal.
+"""
+
+from repro.dnssim.authority import Authority, AuthorityLevel, QueryLog
+from repro.dnssim.cache import CacheStats, TtlCache
+from repro.dnssim.hierarchy import (
+    DEFAULT_ROOT_AFFINITY,
+    DnsHierarchy,
+    HierarchyStats,
+    RootAffinity,
+)
+from repro.dnssim.message import PtrQuery, PtrResponse, QType, QueryLogEntry, RCode
+from repro.dnssim.resolver import RecursiveResolver, ResolverConfig
+from repro.dnssim.zone import (
+    DEFAULT_NEGATIVE_TTL,
+    NATIONAL_DELEGATION_TTL,
+    ROOT_DELEGATION_TTL,
+    SERVFAIL_RETRY_TTL,
+    PtrRecordSpec,
+    ReverseZoneDb,
+)
+
+__all__ = [
+    "Authority",
+    "AuthorityLevel",
+    "QueryLog",
+    "CacheStats",
+    "TtlCache",
+    "DEFAULT_ROOT_AFFINITY",
+    "DnsHierarchy",
+    "HierarchyStats",
+    "RootAffinity",
+    "PtrQuery",
+    "PtrResponse",
+    "QType",
+    "QueryLogEntry",
+    "RCode",
+    "RecursiveResolver",
+    "ResolverConfig",
+    "DEFAULT_NEGATIVE_TTL",
+    "NATIONAL_DELEGATION_TTL",
+    "ROOT_DELEGATION_TTL",
+    "SERVFAIL_RETRY_TTL",
+    "PtrRecordSpec",
+    "ReverseZoneDb",
+]

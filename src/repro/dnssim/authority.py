@@ -1,0 +1,109 @@
+"""Authoritative-server sensors: query logging, sampling, anycast scope.
+
+An :class:`Authority` is a *vantage point*: it appends a
+:class:`~repro.dnssim.message.QueryLogEntry` for every reverse query that
+reaches its level of the hierarchy and falls inside its scope.  Three
+scopes exist, mirroring the paper's datasets:
+
+* **root** — sees queries for any originator, but only from resolvers that
+  selected this root letter (anycast/affinity, handled by the hierarchy)
+  and whose top-of-tree caches were cold;
+* **national** — sees queries only for originators inside the country's
+  delegated /8 blocks (JP-DNS sees only JP space);
+* **final** — the originator's own reverse server; sees every PTR cache
+  miss for its addresses (used by the § IV-D controlled experiments).
+
+``sampling`` reproduces M-sampled's deterministic 1-in-10 collection: the
+authority still *answers* everything, but only every N-th arriving reverse
+query is written to the log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dnssim.message import QueryLogEntry
+from repro.netmodel.addressing import slash8
+
+__all__ = ["AuthorityLevel", "Authority", "QueryLog"]
+
+
+class AuthorityLevel(enum.Enum):
+    ROOT = "root"
+    NATIONAL = "national"
+    FINAL = "final"
+
+
+@dataclass(slots=True)
+class QueryLog:
+    """Append-only log of reverse queries observed at one authority."""
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+
+    def append(self, entry: QueryLogEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def between(self, start: float, end: float) -> list[QueryLogEntry]:
+        """Entries with ``start <= timestamp < end`` (log is time-ordered)."""
+        return [e for e in self.entries if start <= e.timestamp < end]
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+@dataclass(slots=True)
+class Authority:
+    """One logging vantage point in the reverse-DNS hierarchy."""
+
+    name: str
+    level: AuthorityLevel
+    root_letter: str | None = None
+    """Which root instance this is (e.g. ``'b'``, ``'m'``); root level only."""
+    country: str | None = None
+    """Country whose delegated space this serves; national level only."""
+    scope_slash8: frozenset[int] = frozenset()
+    """First octets inside this authority's delegation (national/final)."""
+    sampling: int = 1
+    """Log every N-th arriving reverse query (1 = unsampled)."""
+    sites: int = 1
+    """Anycast site count, for documentation / Table I reporting."""
+    log: QueryLog = field(default_factory=QueryLog)
+    seen_reverse: int = 0
+    """All arriving reverse queries, before sampling."""
+    seen_minimized: int = 0
+    """Reverse-tree queries from QNAME-minimizing resolvers: counted but
+    unattributable — the QNAME carries only this level's labels, so the
+    sensor cannot recover the originator from them."""
+
+    def covers(self, originator: int) -> bool:
+        """Whether a query for *originator* falls inside this authority's zone."""
+        if self.level is AuthorityLevel.ROOT:
+            return True
+        return slash8(originator) in self.scope_slash8
+
+    def observe(self, timestamp: float, querier: int, originator: int) -> None:
+        """Record an arriving reverse query, honoring deterministic sampling."""
+        self.seen_reverse += 1
+        if self.sampling > 1 and (self.seen_reverse % self.sampling) != 0:
+            return
+        self.log.append(
+            QueryLogEntry(timestamp=timestamp, querier=querier, originator=originator)
+        )
+
+    def observe_minimized(self, timestamp: float) -> None:
+        """Record an arriving minimized query (nothing to attribute)."""
+        del timestamp
+        self.seen_minimized += 1
+
+    def reset(self) -> None:
+        """Drop the log and counters (between dataset generations)."""
+        self.log.clear()
+        self.seen_reverse = 0
+        self.seen_minimized = 0

@@ -1,0 +1,83 @@
+"""DNS query/response value types.
+
+The sensor consumes query *tuples*, not wire-format packets (§ III-A: logs
+"result in an (originator, querier, authority) tuple"), so we model exactly
+the fields the analyses need: QNAME/QTYPE/QCLASS for queries, an RCODE plus
+answer name for responses, and timestamped log entries at authorities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netmodel.addressing import ip_to_reverse_name, reverse_name_to_ip
+
+__all__ = ["QType", "RCode", "PtrQuery", "PtrResponse", "QueryLogEntry"]
+
+
+class QType(enum.Enum):
+    """Query types we model; the sensor retains only PTR."""
+
+    PTR = 12
+    A = 1
+
+
+class RCode(enum.Enum):
+    """Response codes relevant to backscatter analysis."""
+
+    NOERROR = 0
+    NXDOMAIN = 3
+    SERVFAIL = 2
+
+
+@dataclass(frozen=True, slots=True)
+class PtrQuery:
+    """A reverse query for one originator address (QCLASS is always IN)."""
+
+    originator: int
+    qtype: QType = QType.PTR
+
+    @property
+    def qname(self) -> str:
+        return ip_to_reverse_name(self.originator)
+
+    @classmethod
+    def from_qname(cls, qname: str) -> "PtrQuery":
+        return cls(originator=reverse_name_to_ip(qname))
+
+
+@dataclass(frozen=True, slots=True)
+class PtrResponse:
+    """Answer to a PTR query: a name, NXDOMAIN, or SERVFAIL.
+
+    ``ttl`` is the positive TTL for NOERROR and the negative-cache TTL
+    (from the zone SOA) for NXDOMAIN; it is meaningless for SERVFAIL,
+    which resolvers retry rather than cache long.
+    """
+
+    rcode: RCode
+    name: str | None
+    ttl: float
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode is RCode.NOERROR
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLogEntry:
+    """One line of an authority's query log.
+
+    ``querier`` is the source address of the DNS packet (the recursive
+    resolver or self-resolving middlebox); ``originator`` is decoded from
+    the QNAME.  This is the tuple the whole sensor pipeline is built on.
+    """
+
+    timestamp: float
+    querier: int
+    originator: int
+
+    @property
+    def qname(self) -> str:
+        return ip_to_reverse_name(self.originator)

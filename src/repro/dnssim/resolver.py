@@ -1,0 +1,165 @@
+"""Recursive resolvers with realistic cache state.
+
+Every querier in the world resolves reverse names through a
+:class:`RecursiveResolver` — either itself (a self-resolving firewall or
+mail server) or its AS's shared resolver.  The resolver holds three caches
+that produce the paper's attenuation (§ II, § IV-D):
+
+* the **PTR cache** (positive, negative, and short servfail entries),
+* the **top-of-tree delegation cache** (root-level cut, ~2-day TTL),
+* the **national delegation cache** (/16 cut, ~1-day TTL).
+
+A query is visible at the root only when the top cut is cold, at the
+national authority only when the /16 cut is cold, and at the final
+authority on every PTR cache miss.
+
+Cold-start realism: a resolver that has been running for years does not
+start our simulation with empty delegation caches.  On the first touch of
+a delegation key we seed it as *warm* with a configurable probability and
+a residual lifetime drawn uniformly in (0, TTL] — the stationary state of
+a periodically refreshed cache entry.  Shared resolvers (busy, serving
+many clients) are warmer than self-resolving middleboxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dnssim.cache import TtlCache
+from repro.dnssim.message import PtrResponse, RCode
+from repro.dnssim.zone import (
+    NATIONAL_DELEGATION_TTL,
+    PTR_CACHE_EVICTION_SECONDS,
+    ROOT_DELEGATION_TTL,
+    SERVFAIL_RETRY_TTL,
+    national_cut_key,
+    root_cut_key,
+)
+
+__all__ = ["ResolverConfig", "RecursiveResolver"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResolverConfig:
+    """Cache behaviour knobs; defaults are calibrated against Fig 4."""
+
+    min_ttl: float = 5.0
+    """Smallest positive TTL the resolver honors ("some resolvers force a
+    short minimum caching period", § IV-D); TTL=0 is still never cached."""
+    root_warm_shared: float = 0.995
+    root_warm_self: float = 0.985
+    """Probability the top-of-tree cut is already cached at first touch."""
+    national_warm_shared: float = 0.90
+    national_warm_self: float = 0.70
+    """Probability the /16 cut is already cached at first touch."""
+    qname_minimization_fraction: float = 0.0
+    """Fraction of resolvers deploying QNAME minimization (RFC 7816).
+    A minimizing resolver sends only the labels each level needs, so
+    root- and national-level sensors never learn the full originator —
+    exactly the § VII caveat: "Use of query minimization at the queriers
+    will constrain the signal to only the local authority"."""
+
+
+class RecursiveResolver:
+    """Cache state for one resolving machine."""
+
+    __slots__ = (
+        "addr",
+        "shared",
+        "region",
+        "preferred_root",
+        "config",
+        "rng",
+        "minimizes",
+        "ptr_cache",
+        "root_cache",
+        "national_cache",
+        "_seeded_root",
+        "_seeded_national",
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        shared: bool,
+        region: str,
+        preferred_root: str,
+        config: ResolverConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.addr = addr
+        self.shared = shared
+        self.region = region
+        self.preferred_root = preferred_root
+        self.config = config
+        # Private stream for warm-seeding draws: derived from the address
+        # by the hierarchy, so cache state is independent of the order in
+        # which resolvers are created or first used.
+        self.rng = rng if rng is not None else np.random.default_rng(addr)
+        self.minimizes = bool(
+            self.rng.random() < config.qname_minimization_fraction
+        )
+        self.ptr_cache: TtlCache[int, PtrResponse] = TtlCache(min_ttl=config.min_ttl)
+        self.root_cache: TtlCache[int, bool] = TtlCache()
+        self.national_cache: TtlCache[tuple[int, int], bool] = TtlCache()
+        self._seeded_root: set[int] = set()
+        self._seeded_national: set[tuple[int, int]] = set()
+
+    # -- delegation cache checks (with stationary warm seeding) ----------
+
+    def root_cut_cached(self, originator: int, now: float, rng: np.random.Generator) -> bool:
+        """True when the top-of-tree cut for *originator* is warm."""
+        key = root_cut_key(originator)
+        if key not in self._seeded_root:
+            self._seeded_root.add(key)
+            warm = (
+                self.config.root_warm_shared
+                if self.shared
+                else self.config.root_warm_self
+            )
+            if rng.random() < warm:
+                residual = float(rng.uniform(0.0, ROOT_DELEGATION_TTL))
+                # put() stores now + ttl, so residual is the remaining life.
+                self.root_cache.put(key, True, residual, now)
+        return self.root_cache.get(key, now) is not None
+
+    def note_root_fetched(self, originator: int, now: float) -> None:
+        self.root_cache.put(root_cut_key(originator), True, ROOT_DELEGATION_TTL, now)
+
+    def national_cut_cached(
+        self, originator: int, now: float, rng: np.random.Generator
+    ) -> bool:
+        """True when the /16 cut for *originator* is warm."""
+        key = national_cut_key(originator)
+        if key not in self._seeded_national:
+            self._seeded_national.add(key)
+            warm = (
+                self.config.national_warm_shared
+                if self.shared
+                else self.config.national_warm_self
+            )
+            if rng.random() < warm:
+                residual = float(rng.uniform(0.0, NATIONAL_DELEGATION_TTL))
+                self.national_cache.put(key, True, residual, now)
+        return self.national_cache.get(key, now) is not None
+
+    def note_national_fetched(self, originator: int, now: float) -> None:
+        self.national_cache.put(
+            national_cut_key(originator), True, NATIONAL_DELEGATION_TTL, now
+        )
+
+    # -- PTR answer caching ----------------------------------------------
+
+    def cached_answer(self, originator: int, now: float) -> PtrResponse | None:
+        return self.ptr_cache.get(originator, now)
+
+    def store_answer(self, originator: int, response: PtrResponse, now: float) -> None:
+        if response.rcode is RCode.SERVFAIL:
+            ttl = SERVFAIL_RETRY_TTL
+        else:
+            # Cache pressure evicts PTR answers long before day-long TTLs
+            # expire; see zone.PTR_CACHE_EVICTION_SECONDS.
+            ttl = min(response.ttl, PTR_CACHE_EVICTION_SECONDS)
+        self.ptr_cache.put(originator, response, ttl, now)

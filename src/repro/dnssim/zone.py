@@ -1,0 +1,127 @@
+"""Reverse-DNS zone data: PTR records and the delegation tree.
+
+The ``in-addr.arpa`` namespace is delegated along octet boundaries:
+
+* the *root* serves the top of the tree (``.``, ``in-addr.arpa`` and the
+  per-/8 ``a.in-addr.arpa`` cuts — we merge these into one root-level cut
+  keyed by the /8, as the paper does when it says "caching of the top of
+  the tree (in-addr.arpa and 1.in-addr.arpa) filters many queries"),
+* a *national / TLD-level* authority serves ``b.a.in-addr.arpa`` for the
+  /8s delegated to its country (JP-DNS in the paper),
+* the *final authority* — the originator's ISP or company — serves the PTR
+  record itself.
+
+:class:`ReverseZoneDb` holds the per-originator PTR facts the final
+authority answers with: whether a name exists (else NXDOMAIN), the record
+TTL (Table VII/VIII show real TTLs from 10 minutes to days, negative-cache
+TTLs, and unreachable zones), and whether the final authority is reachable
+at all (else SERVFAIL, the "F" rows of those tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnssim.message import PtrResponse, RCode
+from repro.netmodel.addressing import ip_to_str, octets
+
+__all__ = [
+    "ROOT_DELEGATION_TTL",
+    "NATIONAL_DELEGATION_TTL",
+    "SERVFAIL_RETRY_TTL",
+    "DEFAULT_NEGATIVE_TTL",
+    "PtrRecordSpec",
+    "ReverseZoneDb",
+]
+
+#: Effective lifetime of the top-of-tree cut (``in-addr.arpa`` / per-/8
+#: zones) in resolver caches.  The records carry 2-day TTLs but capacity
+#: eviction retires entries earlier; half a day reproduces the repeat-query
+#: rates the paper measures at roots.
+ROOT_DELEGATION_TTL: float = 12 * 3600.0
+
+#: Effective lifetime of the /16 cut served by national-level
+#: authorities.  Far below the nominal 1-2 day NS TTLs: these entries are
+#: one-per-/16, so cache pressure evicts them within hours — which is why
+#: JP-DNS sees several queries per querier per originator over 50 hours
+#: (Table II's 1.7-4.7 queries/querier).
+NATIONAL_DELEGATION_TTL: float = 2 * 3600.0
+
+#: Resolvers do not cache SERVFAIL long; they retry after a short hold-down.
+SERVFAIL_RETRY_TTL: float = 60.0
+
+#: Effective cap on cached PTR answers.  PTR entries are one-per-address,
+#: so they are the first victims of cache pressure; middleboxes are also
+#: notorious for not honoring long TTLs.  Four hours reproduces the
+#: several-queries-per-querier rates of Table II despite day-long record
+#: TTLs.
+PTR_CACHE_EVICTION_SECONDS: float = 4 * 3600.0
+
+#: SOA-derived negative-cache TTL used when a spec does not override it.
+DEFAULT_NEGATIVE_TTL: float = 15 * 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class PtrRecordSpec:
+    """The final authority's answer policy for one originator address."""
+
+    has_name: bool = True
+    ttl: float = 3600.0
+    negative_ttl: float = DEFAULT_NEGATIVE_TTL
+    reachable: bool = True
+    name: str | None = None
+
+    def response_for(self, addr: int) -> PtrResponse:
+        """Materialize the PTR response the final authority would send."""
+        if not self.reachable:
+            return PtrResponse(rcode=RCode.SERVFAIL, name=None, ttl=SERVFAIL_RETRY_TTL)
+        if not self.has_name:
+            return PtrResponse(rcode=RCode.NXDOMAIN, name=None, ttl=self.negative_ttl)
+        name = self.name or f"host-{ip_to_str(addr).replace('.', '-')}.example.net"
+        return PtrResponse(rcode=RCode.NOERROR, name=name, ttl=self.ttl)
+
+
+class ReverseZoneDb:
+    """PTR record specs for all originators, with a default for strangers.
+
+    Unregistered addresses resolve to NXDOMAIN with the default negative
+    TTL — exactly what happens for the large unassigned swaths of real
+    reverse space.
+    """
+
+    def __init__(self, default: PtrRecordSpec | None = None) -> None:
+        self._records: dict[int, PtrRecordSpec] = {}
+        self._default = default or PtrRecordSpec(
+            has_name=False, ttl=0.0, negative_ttl=DEFAULT_NEGATIVE_TTL
+        )
+
+    def register(self, addr: int, spec: PtrRecordSpec) -> None:
+        """Install the PTR policy for *addr* (overwrites any previous one)."""
+        self._records[addr] = spec
+
+    def spec_for(self, addr: int) -> PtrRecordSpec:
+        return self._records.get(addr, self._default)
+
+    def resolve(self, addr: int) -> PtrResponse:
+        """What the final authority answers for *addr*."""
+        return self.spec_for(addr).response_for(addr)
+
+    def registered(self) -> list[int]:
+        return sorted(self._records)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def root_cut_key(addr: int) -> int:
+    """Cache key for the root-level delegation covering *addr* (its /8)."""
+    return octets(addr)[0]
+
+
+def national_cut_key(addr: int) -> tuple[int, int]:
+    """Cache key for the national-level /16 delegation covering *addr*."""
+    a, b, _, _ = octets(addr)
+    return (a, b)

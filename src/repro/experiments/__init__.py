@@ -1,0 +1,54 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and a
+``format_*`` helper producing the paper-style printout; every module is
+also runnable as a script (``python -m repro.experiments.table3_accuracy``).
+The per-experiment index lives in DESIGN.md § 4 and measured-vs-paper
+values in EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    case_studies,
+    confusion,
+    fig4_controlled,
+    fig5_fig6_stability,
+    fig7_strategies,
+    fig8_consistency,
+    fig9_footprints,
+    fig10_topn,
+    fig11_trends,
+    fig12_footprint_boxes,
+    fig13_example_scanners,
+    fig14_teams,
+    fig15_churn,
+    fig16_diurnal,
+    table1_datasets,
+    table3_accuracy,
+    table4_gini,
+    table5_class_counts,
+    table6_groundtruth,
+    tables78_top_originators,
+)
+
+__all__ = [
+    "case_studies",
+    "confusion",
+    "fig4_controlled",
+    "fig5_fig6_stability",
+    "fig7_strategies",
+    "fig8_consistency",
+    "fig9_footprints",
+    "fig10_topn",
+    "fig11_trends",
+    "fig12_footprint_boxes",
+    "fig13_example_scanners",
+    "fig14_teams",
+    "fig15_churn",
+    "fig16_diurnal",
+    "table1_datasets",
+    "table3_accuracy",
+    "table4_gini",
+    "table5_class_counts",
+    "table6_groundtruth",
+    "tables78_top_originators",
+]

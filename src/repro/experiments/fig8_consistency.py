@@ -1,0 +1,78 @@
+"""Figure 8: CDF of the majority-class ratio r on M-sampled.
+
+Classify every window of M-sampled, vote per originator across weeks,
+and report the distribution of r (the fraction of weeks the preferred
+class was assigned) for querier thresholds q ∈ {20, 50, 75, 100}.
+Targets: higher q → more consistent classifications, and 85-90% of
+originators have a strict-majority class (r > 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.consistency import (
+    ConsistencyRecord,
+    consistency_ratios,
+    majority_fraction,
+    ratio_cdf,
+)
+from repro.experiments.common import windowed
+
+__all__ = ["Fig8Result", "run", "format_table"]
+
+DEFAULT_THRESHOLDS = (20, 50, 75, 100)
+
+
+@dataclass(slots=True)
+class Fig8Result:
+    by_threshold: dict[int, list[ConsistencyRecord]]
+
+    def cdf(self, q: int):
+        return ratio_cdf(self.by_threshold[q])
+
+    def majority_fraction(self, q: int) -> float:
+        return majority_fraction(self.by_threshold[q])
+
+
+def run(
+    preset: str = "default",
+    dataset: str = "M-sampled",
+    thresholds: tuple[int, ...] = DEFAULT_THRESHOLDS,
+    min_appearances: int = 4,
+) -> Fig8Result:
+    analysis = windowed(dataset, preset)
+    return Fig8Result(
+        by_threshold={
+            q: consistency_ratios(analysis, min_queriers=q, min_appearances=min_appearances)
+            for q in thresholds
+        }
+    )
+
+
+def format_table(result: Fig8Result) -> str:
+    from repro.experiments.common import format_rows
+
+    rows = []
+    for q, records in sorted(result.by_threshold.items()):
+        consistent = (
+            sum(1 for record in records if record.r >= 0.999) / len(records)
+            if records
+            else 0.0
+        )
+        rows.append(
+            [
+                q,
+                len(records),
+                f"{consistent:.2f}",
+                f"{result.majority_fraction(q):.2f}",
+            ]
+        )
+    return format_rows(
+        ["q (min queriers)", "originators", "fully consistent (r=1)", "strict majority (r>0.5)"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

@@ -1,0 +1,100 @@
+"""Table IV: top discriminative features by Gini importance.
+
+Fit the random forest on a dataset's full labeled features and rank
+features by accumulated Gini decrease.  The paper's top-6 for JP-ditl
+and M-ditl are dominated by the mail, home, nxdomain, and unreach static
+features plus one dynamic feature (global entropy for JP, query rate for
+M); the reproduction target is that same mix of static-name dominance
+with a dynamic feature in the top ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import labeled_features
+from repro.ml.forest import ForestConfig, RandomForestClassifier
+from repro.sensor.features import FEATURE_NAMES
+
+__all__ = ["FeatureRank", "run", "format_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureRank:
+    dataset: str
+    rank: int
+    feature: str
+    gini: float
+    """Importance as a percentage of total Gini decrease (the paper's
+    Gini column is on a comparable 0-100-ish scale)."""
+
+    @property
+    def kind(self) -> str:
+        return "S" if self.feature.startswith("static_") else "D"
+
+
+def run(
+    datasets: tuple[str, ...] = ("JP-ditl", "M-ditl"),
+    top_k: int = 6,
+    preset: str = "default",
+    seed: int = 0,
+) -> list[FeatureRank]:
+    rows: list[FeatureRank] = []
+    for name in datasets:
+        bundle = labeled_features(name, preset)
+        forest = RandomForestClassifier(ForestConfig(n_trees=100), seed=seed)
+        forest.fit(bundle.X, bundle.y)
+        importances = forest.feature_importances_
+        order = np.argsort(importances)[::-1][:top_k]
+        for rank, feature_index in enumerate(order, start=1):
+            rows.append(
+                FeatureRank(
+                    dataset=name,
+                    rank=rank,
+                    feature=FEATURE_NAMES[int(feature_index)],
+                    gini=float(importances[int(feature_index)] * 100.0),
+                )
+            )
+    return rows
+
+
+def cross_check(
+    dataset: str = "JP-ditl",
+    preset: str = "default",
+    seed: int = 0,
+) -> dict[str, float]:
+    """Model-agnostic validation of the Gini ranking.
+
+    Fits RF on 60% of the labeled data and computes permutation
+    importance on the held-out 40%; returns feature → accuracy drop.
+    Used by the Table IV bench to confirm the top Gini features carry
+    genuine held-out predictive power (Gini importances alone can be
+    artifacts of cardinality).
+    """
+    from repro.ml.importance import permutation_importance
+    from repro.ml.validation import train_test_split
+
+    bundle = labeled_features(dataset, preset)
+    rng = np.random.default_rng(seed)
+    train, test = train_test_split(len(bundle.y), 0.6, rng, stratify=bundle.y)
+    forest = RandomForestClassifier(ForestConfig(n_trees=100), seed=seed)
+    forest.fit(bundle.X[train], bundle.y[train])
+    drops = permutation_importance(
+        forest, bundle.X[test], bundle.y[test], repeats=5, seed=seed
+    )
+    return dict(zip(FEATURE_NAMES, drops.tolist()))
+
+
+def format_table(rows: list[FeatureRank]) -> str:
+    from repro.experiments.common import format_rows
+
+    return format_rows(
+        ["dataset", "rank", "feature", "kind", "gini"],
+        [[r.dataset, r.rank, r.feature, r.kind, f"{r.gini:.1f}"] for r in rows],
+    )
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

@@ -1,0 +1,56 @@
+"""Table VI: labeled ground-truth example counts per class per dataset.
+
+Run the § IV-B curation (external candidates ∩ top originators, verified)
+and count examples per class.  Targets: a couple hundred examples per
+dataset; mail and spam among the largest classes; update tiny and
+JP-only; push/cloud absent from JP (the paper's dashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity.classes import APPLICATION_CLASSES
+from repro.experiments.common import classified
+
+__all__ = ["Table6Row", "run", "format_table"]
+
+DEFAULT_DATASETS = ("JP-ditl", "B-post-ditl", "M-ditl", "M-sampled")
+
+
+@dataclass(slots=True)
+class Table6Row:
+    dataset: str
+    counts: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+def run(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS, preset: str = "default"
+) -> list[Table6Row]:
+    rows: list[Table6Row] = []
+    for name in datasets:
+        labeled = classified(name, preset).labeled
+        rows.append(Table6Row(dataset=name, counts=dict(labeled.class_counts())))
+    return rows
+
+
+def format_table(rows: list[Table6Row]) -> str:
+    from repro.experiments.common import format_rows
+
+    return format_rows(
+        ["dataset"] + list(APPLICATION_CLASSES) + ["total"],
+        [
+            [row.dataset]
+            + [row.counts.get(c, 0) or "-" for c in APPLICATION_CLASSES]
+            + [row.total]
+            for row in rows
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

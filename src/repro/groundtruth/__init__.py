@@ -1,0 +1,29 @@
+"""External evidence sources: darknets, DNS blacklists, label curation.
+
+These substitute for the paper's Appendix A validation apparatus; they
+only ever see what the activity simulation actually did, so labels are
+grounded in behaviour, not in the sensor's own output.
+"""
+
+from repro.groundtruth.blacklist import (
+    DEFAULT_PROVIDERS,
+    BlacklistProvider,
+    BlacklistRegistry,
+)
+from repro.groundtruth.darknet import CONFIRMATION_THRESHOLD, Darknet
+from repro.groundtruth.labeling import (
+    EXTERNAL_COVERAGE,
+    GroundTruthSources,
+    build_labeled_set,
+)
+
+__all__ = [
+    "DEFAULT_PROVIDERS",
+    "BlacklistProvider",
+    "BlacklistRegistry",
+    "CONFIRMATION_THRESHOLD",
+    "Darknet",
+    "EXTERNAL_COVERAGE",
+    "GroundTruthSources",
+    "build_labeled_set",
+]

@@ -1,0 +1,209 @@
+"""Kernel support-vector machine, the paper's third classifier.
+
+Binary soft-margin SVMs trained with a simplified SMO solver (Platt 1998),
+combined one-vs-one with majority voting for the 12 application classes.
+Features are standardized internally (zero mean, unit variance on the
+training set) because the sensor mixes [0,1] fractions with unbounded
+rates; the RBF kernel is the default, as in the paper's "kernel SVM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+__all__ = ["SvmConfig", "BinarySvm", "SvmClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class SvmConfig:
+    """Soft-margin and kernel hyperparameters."""
+
+    C: float = 1.0
+    kernel: str = "rbf"
+    gamma: float | str = "scale"
+    """RBF width; ``"scale"`` means 1 / (n_features * Var(X))."""
+    tol: float = 1e-3
+    max_passes: int = 8
+    max_iter: int = 3000
+
+
+def _rbf(X: np.ndarray, Z: np.ndarray, gamma: float) -> np.ndarray:
+    xx = (X * X).sum(axis=1)[:, None]
+    zz = (Z * Z).sum(axis=1)[None, :]
+    sq = xx + zz - 2.0 * X @ Z.T
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def _linear(X: np.ndarray, Z: np.ndarray, _gamma: float) -> np.ndarray:
+    return X @ Z.T
+
+
+_KERNELS = {"rbf": _rbf, "linear": _linear}
+
+
+class BinarySvm:
+    """One soft-margin SVM over labels in {-1, +1}, trained by SMO."""
+
+    def __init__(self, config: SvmConfig, seed: int = 0) -> None:
+        if config.kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {config.kernel!r}")
+        self.config = config
+        self._seed = seed
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._b: float = 0.0
+        self._gamma: float = 1.0
+
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        if self.config.gamma == "scale":
+            variance = X.var()
+            return 1.0 / (X.shape[1] * variance) if variance > 0 else 1.0
+        return float(self.config.gamma)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarySvm":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {-1.0, 1.0}:
+            raise ValueError("binary SVM labels must be -1/+1")
+        n = len(X)
+        self._gamma = self._resolve_gamma(X)
+        K = _KERNELS[self.config.kernel](X, X, self._gamma)
+        C, tol = self.config.C, self.config.tol
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self._seed)
+        passes = 0
+        iterations = 0
+        while passes < self.config.max_passes and iterations < self.config.max_iter:
+            changed = 0
+            for i in range(n):
+                Ei = float((alpha * y) @ K[:, i]) + b - y[i]
+                if (y[i] * Ei < -tol and alpha[i] < C) or (y[i] * Ei > tol and alpha[i] > 0):
+                    j = int(rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    Ej = float((alpha * y) @ K[:, j]) + b - y[j]
+                    ai_old, aj_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, aj_old - ai_old)
+                        high = min(C, C + aj_old - ai_old)
+                    else:
+                        low = max(0.0, ai_old + aj_old - C)
+                        high = min(C, ai_old + aj_old)
+                    if low >= high:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    aj = aj_old - y[j] * (Ei - Ej) / eta
+                    aj = min(high, max(low, aj))
+                    if abs(aj - aj_old) < 1e-6:
+                        continue
+                    ai = ai_old + y[i] * y[j] * (aj_old - aj)
+                    alpha[i], alpha[j] = ai, aj
+                    b1 = b - Ei - y[i] * (ai - ai_old) * K[i, i] - y[j] * (aj - aj_old) * K[i, j]
+                    b2 = b - Ej - y[i] * (ai - ai_old) * K[i, j] - y[j] * (aj - aj_old) * K[j, j]
+                    if 0 < ai < C:
+                        b = b1
+                    elif 0 < aj < C:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+            iterations += 1
+        support = alpha > 1e-8
+        self._X = X[support]
+        self._y = y[support]
+        self._alpha = alpha[support]
+        self._b = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("SVM is not fitted")
+        X = np.asarray(X, dtype=float)
+        if len(self._X) == 0:
+            return np.full(len(X), self._b)
+        K = _KERNELS[self.config.kernel](X, self._X, self._gamma)
+        return K @ (self._alpha * self._y) + self._b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
+
+    @property
+    def n_support(self) -> int:
+        if self._alpha is None:
+            raise RuntimeError("SVM is not fitted")
+        return len(self._alpha)
+
+
+class SvmClassifier:
+    """One-vs-one multiclass kernel SVM with internal standardization.
+
+    Matches the interface of the tree/forest classifiers: integer labels
+    in, integer labels out, with ``predict_proba`` as normalized pairwise
+    votes so majority voting across repeated runs works uniformly.
+    """
+
+    def __init__(self, config: SvmConfig | None = None, seed: int = 0) -> None:
+        self.config = config or SvmConfig()
+        self._seed = seed
+        self.n_classes_: int = 0
+        self._machines: dict[tuple[int, int], BinarySvm] = {}
+        self._present: list[int] = []
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SvmClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_classes_ = int(y.max()) + 1
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        Xs = self._standardize(X)
+        self._machines = {}
+        present = [c for c in range(self.n_classes_) if np.any(y == c)]
+        self._present = present
+        rng = np.random.default_rng(self._seed)
+        for a, b in combinations(present, 2):
+            mask = (y == a) | (y == b)
+            labels = np.where(y[mask] == a, 1.0, -1.0)
+            machine = BinarySvm(self.config, seed=int(rng.integers(2**63)))
+            machine.fit(Xs[mask], labels)
+            self._machines[(a, b)] = machine
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._present:
+            raise RuntimeError("classifier is not fitted")
+        if not self._machines:
+            # Degenerate single-class training data: predict that class.
+            X = np.asarray(X, dtype=float)
+            proba = np.zeros((len(X), self.n_classes_))
+            proba[:, self._present[0]] = 1.0
+            return proba
+        X = self._standardize(np.asarray(X, dtype=float))
+        votes = np.zeros((len(X), self.n_classes_))
+        for (a, b), machine in self._machines.items():
+            side = machine.predict(X)
+            votes[side > 0, a] += 1.0
+            votes[side < 0, b] += 1.0
+        totals = votes.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return votes / totals
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)

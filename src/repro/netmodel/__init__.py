@@ -1,0 +1,60 @@
+"""Synthetic Internet model: addresses, geography, ASes, names, population.
+
+Substitutes for the real Internet behind the paper's DNS vantage points;
+see DESIGN.md § 2 for the substitution argument.
+"""
+
+from repro.netmodel.addressing import (
+    MAX_IPV4,
+    Prefix,
+    from_octets,
+    ip_to_reverse_name,
+    ip_to_str,
+    is_reverse_name,
+    octets,
+    prefix_of,
+    reverse_name_to_ip,
+    slash8,
+    slash16,
+    slash24,
+    str_to_ip,
+)
+from repro.netmodel.asn import ASKind, ASRegistry, AutonomousSystem, build_as_registry
+from repro.netmodel.geography import (
+    DEFAULT_COUNTRIES,
+    Country,
+    GeoRegistry,
+    build_geo_registry,
+)
+from repro.netmodel.namespace import NameSynthesizer, QuerierRole
+from repro.netmodel.world import NameStatus, Querier, World, WorldConfig
+
+__all__ = [
+    "MAX_IPV4",
+    "Prefix",
+    "from_octets",
+    "ip_to_reverse_name",
+    "ip_to_str",
+    "is_reverse_name",
+    "octets",
+    "prefix_of",
+    "reverse_name_to_ip",
+    "slash8",
+    "slash16",
+    "slash24",
+    "str_to_ip",
+    "ASKind",
+    "ASRegistry",
+    "AutonomousSystem",
+    "build_as_registry",
+    "DEFAULT_COUNTRIES",
+    "Country",
+    "GeoRegistry",
+    "build_geo_registry",
+    "NameSynthesizer",
+    "QuerierRole",
+    "NameStatus",
+    "Querier",
+    "World",
+    "WorldConfig",
+]

@@ -1,0 +1,235 @@
+"""IPv4 address arithmetic and reverse-name helpers.
+
+All addresses are plain ``int`` in [0, 2**32).  The paper's sensor works
+entirely on originator and querier IP addresses, their textual dotted-quad
+forms, their ``in-addr.arpa`` reverse names, and prefix aggregates (/8 for
+global entropy, /24 for local entropy and team detection), so this module
+provides exactly those conversions plus prefix math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+MAX_IPV4 = 2**32 - 1
+
+__all__ = [
+    "MAX_IPV4",
+    "MAX_IPV6",
+    "ip6_to_reverse_name",
+    "reverse_name_to_ip6",
+    "ip_to_str",
+    "str_to_ip",
+    "ip_to_reverse_name",
+    "reverse_name_to_ip",
+    "is_reverse_name",
+    "octets",
+    "from_octets",
+    "Prefix",
+    "prefix_of",
+    "slash8",
+    "slash16",
+    "slash24",
+]
+
+
+def ip_to_str(addr: int) -> str:
+    """Render an integer address as a dotted quad, e.g. ``16909060 -> '1.2.3.4'``."""
+    if not 0 <= addr <= MAX_IPV4:
+        raise ValueError(f"address out of IPv4 range: {addr!r}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def str_to_ip(text: str) -> int:
+    """Parse a dotted quad into an integer address.
+
+    Raises ``ValueError`` for anything that is not exactly four decimal
+    octets in [0, 255] (no whitespace, no leading-zero shorthand ambiguity
+    is tolerated beyond plain ``int`` parsing).
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    addr = 0
+    for part in parts:
+        if not part or not part.isdigit():
+            raise ValueError(f"bad octet {part!r} in {text!r}")
+        value = int(part)
+        if value > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        addr = (addr << 8) | value
+    return addr
+
+
+def octets(addr: int) -> tuple[int, int, int, int]:
+    """Split an address into its four octets, most-significant first."""
+    if not 0 <= addr <= MAX_IPV4:
+        raise ValueError(f"address out of IPv4 range: {addr!r}")
+    return ((addr >> 24) & 0xFF, (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF)
+
+
+def from_octets(a: int, b: int, c: int, d: int) -> int:
+    """Build an address from four octets, most-significant first."""
+    for value in (a, b, c, d):
+        if not 0 <= value <= 255:
+            raise ValueError(f"octet out of range: {value}")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+MAX_IPV6 = 2**128 - 1
+
+
+def ip6_to_reverse_name(addr: int) -> str:
+    """Return the ``ip6.arpa`` QNAME for a 128-bit address.
+
+    IPv6 reverse names are nibble-reversed: 32 hex digits, least
+    significant first.  The paper's workloads are IPv4, but the sensor's
+    naming layer supports v6 so backscatter can cover space darknets
+    never will (§ I: "the huge IPv6 space" rules out new darknets).
+    """
+    if not 0 <= addr <= MAX_IPV6:
+        raise ValueError(f"address out of IPv6 range: {addr!r}")
+    nibbles = f"{addr:032x}"
+    return ".".join(reversed(nibbles)) + ".ip6.arpa"
+
+
+def reverse_name_to_ip6(name: str) -> int:
+    """Parse an ``ip6.arpa`` QNAME back into the 128-bit address."""
+    lowered = name.lower().rstrip(".")
+    suffix = ".ip6.arpa"
+    if not lowered.endswith(suffix):
+        raise ValueError(f"not an ip6.arpa name: {name!r}")
+    parts = lowered[: -len(suffix)].split(".")
+    if len(parts) != 32:
+        raise ValueError(f"reverse name does not cover a full v6 address: {name!r}")
+    hex_digits = "".join(reversed(parts))
+    try:
+        return int(hex_digits, 16)
+    except ValueError as exc:
+        raise ValueError(f"bad nibble in {name!r}") from exc
+
+
+def ip_to_reverse_name(addr: int) -> str:
+    """Return the ``in-addr.arpa`` QNAME for an address.
+
+    ``1.2.3.4`` maps to ``4.3.2.1.in-addr.arpa`` — octets reversed, as PTR
+    queries put the least-significant octet first.
+    """
+    a, b, c, d = octets(addr)
+    return f"{d}.{c}.{b}.{a}.in-addr.arpa"
+
+
+def reverse_name_to_ip(name: str) -> int:
+    """Parse a ``in-addr.arpa`` QNAME back into the originator address."""
+    lowered = name.lower().rstrip(".")
+    suffix = ".in-addr.arpa"
+    if not lowered.endswith(suffix):
+        raise ValueError(f"not an in-addr.arpa name: {name!r}")
+    quad = lowered[: -len(suffix)]
+    parts = quad.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"reverse name does not cover a full address: {name!r}")
+    d, c, b, a = (int(p) for p in parts)
+    return from_octets(a, b, c, d)
+
+
+def is_reverse_name(name: str) -> bool:
+    """True when *name* is a full-address ``in-addr.arpa`` PTR QNAME."""
+    try:
+        reverse_name_to_ip(name)
+    except (ValueError, TypeError):
+        return False
+    return True
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """An IPv4 prefix ``network/length`` with host bits forced to zero."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"bad prefix length: {self.length}")
+        if not 0 <= self.network <= MAX_IPV4:
+            raise ValueError(f"network out of range: {self.network}")
+        masked = self.network & self.mask
+        if masked != self.network:
+            object.__setattr__(self, "network", masked)
+
+    @property
+    def mask(self) -> int:
+        """Netmask as an integer (``/8 -> 0xFF000000``)."""
+        return ((1 << self.length) - 1) << (32 - self.length)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network | (self.size - 1)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.first <= addr <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True when *other* is fully inside this prefix (lengths may be equal)."""
+        return other.length >= self.length and other.network in self
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate every address in the prefix (use only for small prefixes)."""
+        return iter(range(self.first, self.last + 1))
+
+    def nth(self, index: int) -> int:
+        """The *index*-th address inside the prefix."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"host index {index} outside /{self.length}")
+        return self.network | index
+
+    def subprefixes(self, length: int) -> Iterator["Prefix"]:
+        """Iterate the sub-prefixes of the given longer *length*."""
+        if length < self.length:
+            raise ValueError("subprefix length must not be shorter")
+        step = 1 << (32 - length)
+        for net in range(self.first, self.last + 1, step):
+            yield Prefix(net, length)
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.network)}/{self.length}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``'10.0.0.0/8'`` into a ``Prefix``."""
+        try:
+            net_text, len_text = text.split("/")
+        except ValueError as exc:
+            raise ValueError(f"not a prefix: {text!r}") from exc
+        return cls(str_to_ip(net_text), int(len_text))
+
+
+def prefix_of(addr: int, length: int) -> Prefix:
+    """The /*length* prefix containing *addr*."""
+    return Prefix(addr, length)  # Prefix masks host bits itself
+
+
+def slash8(addr: int) -> int:
+    """The /8 identifier (first octet) of an address, for global entropy."""
+    return (addr >> 24) & 0xFF
+
+
+def slash16(addr: int) -> int:
+    """The /16 identifier (top 16 bits) of an address."""
+    return (addr >> 16) & 0xFFFF
+
+
+def slash24(addr: int) -> int:
+    """The /24 identifier (top 24 bits) of an address, for local entropy."""
+    return (addr >> 8) & 0xFFFFFF

@@ -1,0 +1,144 @@
+"""Countries and geographic /8 allocation.
+
+The paper's *global entropy* dynamic feature works because "/8 prefixes are
+assigned geographically" (§ III-C): the Shannon entropy of querier /8s is a
+proxy for how globally dispersed an activity's targets are, and the
+*unique countries* feature uses a GeoIP database (MaxMind GeoLiteCity in the
+paper).  We substitute a synthetic registry: each country owns a disjoint
+set of /8 blocks, sized by an Internet-population weight, which doubles as
+the GeoIP lookup (address -> country is exact by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.addressing import Prefix, slash8
+
+__all__ = ["Country", "GeoRegistry", "DEFAULT_COUNTRIES", "build_geo_registry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A country with its Internet-size weight and home region."""
+
+    code: str
+    name: str
+    region: str
+    weight: float
+
+
+#: Synthetic country set spanning the paper's regions of interest.  Weights
+#: are rough relative Internet populations; JP and US are deliberately large
+#: because the paper's vantage points (JP-DNS, B-Root in the US, M-Root in
+#: Asia/NA/Europe) make those populations prominent.
+DEFAULT_COUNTRIES: tuple[Country, ...] = (
+    Country("us", "United States", "na", 20.0),
+    Country("cn", "China", "asia", 18.0),
+    Country("jp", "Japan", "asia", 10.0),
+    Country("de", "Germany", "eu", 6.0),
+    Country("gb", "United Kingdom", "eu", 5.0),
+    Country("kr", "South Korea", "asia", 4.0),
+    Country("fr", "France", "eu", 4.0),
+    Country("br", "Brazil", "sa", 4.0),
+    Country("ru", "Russia", "eu", 4.0),
+    Country("in", "India", "asia", 4.0),
+    Country("ca", "Canada", "na", 3.0),
+    Country("it", "Italy", "eu", 2.5),
+    Country("nl", "Netherlands", "eu", 2.5),
+    Country("au", "Australia", "oc", 2.0),
+    Country("es", "Spain", "eu", 2.0),
+    Country("tw", "Taiwan", "asia", 2.0),
+    Country("se", "Sweden", "eu", 1.5),
+    Country("pl", "Poland", "eu", 1.5),
+    Country("mx", "Mexico", "na", 1.5),
+    Country("id", "Indonesia", "asia", 1.5),
+    Country("tr", "Turkey", "eu", 1.0),
+    Country("ar", "Argentina", "sa", 1.0),
+    Country("za", "South Africa", "africa", 1.0),
+    Country("th", "Thailand", "asia", 1.0),
+    Country("vn", "Vietnam", "asia", 1.0),
+    Country("pk", "Pakistan", "asia", 0.8),
+    Country("eg", "Egypt", "africa", 0.8),
+    Country("cr", "Costa Rica", "sa", 0.4),
+    Country("nz", "New Zealand", "oc", 0.4),
+    Country("fi", "Finland", "eu", 0.4),
+)
+
+
+@dataclass(slots=True)
+class GeoRegistry:
+    """Maps /8 blocks to countries; the simulator's GeoIP database.
+
+    ``blocks[first_octet] -> country code`` for every allocated /8.  Lookups
+    for unallocated space return ``None`` (the real GeoLiteCity also has
+    gaps, and the sensor treats unknown country as its own bucket).
+    """
+
+    countries: dict[str, Country]
+    blocks: dict[int, str] = field(default_factory=dict)
+
+    def country_of(self, addr: int) -> str | None:
+        """GeoIP lookup: the country code owning *addr*'s /8, or ``None``."""
+        return self.blocks.get(slash8(addr))
+
+    def blocks_of(self, code: str) -> list[int]:
+        """All first-octets allocated to a country, ascending."""
+        return sorted(o for o, c in self.blocks.items() if c == code)
+
+    def prefixes_of(self, code: str) -> list[Prefix]:
+        """All /8 prefixes allocated to a country."""
+        return [Prefix(octet << 24, 8) for octet in self.blocks_of(code)]
+
+    @property
+    def allocated(self) -> int:
+        """Number of allocated /8 blocks."""
+        return len(self.blocks)
+
+
+# First octets we never allocate: 0 (this-network), 10 (private),
+# 127 (loopback), 224-255 (multicast + reserved).  Mirrors real IANA policy
+# closely enough that reverse names for our space look plausible.
+_RESERVED_OCTETS = frozenset({0, 10, 127}) | frozenset(range(224, 256))
+
+
+def build_geo_registry(
+    countries: tuple[Country, ...] = DEFAULT_COUNTRIES,
+    total_blocks: int = 180,
+) -> GeoRegistry:
+    """Allocate *total_blocks* /8s across *countries* proportionally to weight.
+
+    The allocation is deterministic: countries are processed in declared
+    order and receive contiguous runs of first-octets, which mimics the
+    historically regional allocation of the v4 space (making /8 a usable
+    geography proxy, as the paper requires).  Every country receives at
+    least one /8 regardless of weight.
+    """
+    usable = [o for o in range(256) if o not in _RESERVED_OCTETS]
+    if total_blocks > len(usable):
+        raise ValueError(f"cannot allocate {total_blocks} /8s; only {len(usable)} usable")
+    weight_sum = sum(c.weight for c in countries)
+    registry = GeoRegistry(countries={c.code: c for c in countries})
+    # Largest-remainder apportionment with a floor of one block each.
+    shares = [c.weight / weight_sum * total_blocks for c in countries]
+    counts = [max(1, int(s)) for s in shares]
+    remainders = sorted(
+        range(len(countries)), key=lambda i: shares[i] - int(shares[i]), reverse=True
+    )
+    index = 0
+    while sum(counts) < total_blocks:
+        counts[remainders[index % len(remainders)]] += 1
+        index += 1
+    while sum(counts) > total_blocks:
+        largest = max(range(len(counts)), key=lambda i: counts[i])
+        if counts[largest] == 1:
+            break
+        counts[largest] -= 1
+    cursor = 0
+    for country, count in zip(countries, counts):
+        for _ in range(count):
+            if cursor >= len(usable):
+                break
+            registry.blocks[usable[cursor]] = country.code
+            cursor += 1
+    return registry

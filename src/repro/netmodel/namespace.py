@@ -1,0 +1,135 @@
+"""Reverse-DNS name synthesis for queriers.
+
+The sensor's *static features* (§ III-C) are fractions of queriers whose
+reverse names match keyword categories (home, mail, ns, fw, antispam, www,
+ntp, cdn, aws, ms, google).  This module is the *generator* side: given a
+querier's role, address, and owning AS, produce a plausible reverse name
+that follows real-Internet naming conventions.  The *parser* side — the
+paper's keyword-matching rules — lives in :mod:`repro.sensor.keywords`; the
+two are deliberately independent implementations so that classification is
+tested against realistic, imperfect names rather than against its own
+inverse.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.netmodel.addressing import octets
+from repro.netmodel.asn import AutonomousSystem
+
+__all__ = ["QuerierRole", "NameSynthesizer"]
+
+
+class QuerierRole(enum.Enum):
+    """What kind of machine a querier is; decides its name shape."""
+
+    HOME = "home"
+    MAIL = "mail"
+    NS = "ns"
+    FIREWALL = "fw"
+    ANTISPAM = "antispam"
+    WWW = "www"
+    NTP = "ntp"
+    CDN = "cdn"
+    AWS = "aws"
+    MS = "ms"
+    GOOGLE = "google"
+    OTHER = "other"
+
+
+# Keyword stems actually used when *building* names, per role.  These are
+# drawn from the paper's lists but are not identical to the matcher's rule
+# set: real names use a subset of keywords plus decoration.
+_HOME_STEMS = (
+    "home", "dsl", "cable", "dynamic", "pool", "cpe", "customer", "fiber",
+    "flets", "user", "host", "ip",
+)
+_MAIL_STEMS = ("mail", "mx", "smtp", "mta", "post", "lists", "newsletter", "zimbra", "correo")
+_NS_STEMS = ("ns", "dns", "cache", "resolv", "cns", "name")
+_FW_STEMS = ("fw", "firewall", "wall")
+_ANTISPAM_STEMS = ("ironport", "spamfilter", "spamgw", "spamd")
+# "app" is avoided: the sensor's home keyword "ap" prefix-matches it.
+_OTHER_STEMS = ("srv", "gw", "vpn", "core", "edge", "node", "db", "backup", "mgmt")
+
+_CDN_SUFFIXES = (
+    "akamaitechnologies.com",
+    "akamai.net",
+    "edgecastcdn.net",
+    "cdngc.net",       # CDNetworks
+    "llnw.net",        # Limelight
+)
+_GOOGLE_SUFFIXES = ("1e100.net", "googlebot.com", "google.com")
+
+# TLD mix for AS base domains: country TLD usually, sometimes .com/.net.
+_GENERIC_TLDS = ("com", "net", "org")
+
+
+class NameSynthesizer:
+    """Builds reverse names for queriers, deterministically from an RNG.
+
+    One synthesizer is shared by a whole world build; it caches per-AS base
+    domains so all queriers of an AS share a registered domain, which is
+    what makes per-AS features meaningful.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._domains: dict[int, str] = {}
+
+    def base_domain(self, asystem: AutonomousSystem) -> str:
+        """The AS's registered domain, e.g. ``fiber-jp-123.jp``."""
+        domain = self._domains.get(asystem.asn)
+        if domain is None:
+            if self._rng.random() < 0.7:
+                tld = asystem.country
+            else:
+                tld = _GENERIC_TLDS[int(self._rng.integers(len(_GENERIC_TLDS)))]
+            domain = f"{asystem.name}.{tld}"
+            self._domains[asystem.asn] = domain
+        return domain
+
+    def name_for(self, role: QuerierRole, addr: int, asystem: AutonomousSystem) -> str:
+        """A reverse name for a querier of *role* at *addr* inside *asystem*."""
+        rng = self._rng
+        a, b, c, d = octets(addr)
+        domain = self.base_domain(asystem)
+        if role is QuerierRole.HOME:
+            stem = _HOME_STEMS[int(rng.integers(len(_HOME_STEMS)))]
+            sep = "-" if rng.random() < 0.8 else "."
+            quad = sep.join(str(o) for o in (a, b, c, d))
+            if rng.random() < 0.5:
+                return f"{stem}{quad}.{domain}"
+            return f"{stem}-{quad}.{domain}"
+        if role is QuerierRole.MAIL:
+            stem = _MAIL_STEMS[int(rng.integers(len(_MAIL_STEMS)))]
+            suffix = str(int(rng.integers(1, 9))) if rng.random() < 0.4 else ""
+            return f"{stem}{suffix}.{domain}"
+        if role is QuerierRole.NS:
+            stem = _NS_STEMS[int(rng.integers(len(_NS_STEMS)))]
+            suffix = str(int(rng.integers(1, 5))) if rng.random() < 0.6 else ""
+            return f"{stem}{suffix}.{domain}"
+        if role is QuerierRole.FIREWALL:
+            stem = _FW_STEMS[int(rng.integers(len(_FW_STEMS)))]
+            return f"{stem}{int(rng.integers(1, 4))}.{domain}"
+        if role is QuerierRole.ANTISPAM:
+            stem = _ANTISPAM_STEMS[int(rng.integers(len(_ANTISPAM_STEMS)))]
+            return f"{stem}.{domain}"
+        if role is QuerierRole.WWW:
+            return f"www.{domain}"
+        if role is QuerierRole.NTP:
+            return f"ntp{int(rng.integers(1, 4))}.{domain}"
+        if role is QuerierRole.CDN:
+            suffix = _CDN_SUFFIXES[int(rng.integers(len(_CDN_SUFFIXES)))]
+            return f"a{a}-{d}.deploy.{suffix}"
+        if role is QuerierRole.AWS:
+            return f"ec2-{a}-{b}-{c}-{d}.compute-1.amazonaws.com"
+        if role is QuerierRole.MS:
+            return f"vm{d}.cloudapp.azure.com"
+        if role is QuerierRole.GOOGLE:
+            suffix = _GOOGLE_SUFFIXES[int(rng.integers(len(_GOOGLE_SUFFIXES)))]
+            return f"crawl-{a}-{b}-{c}-{d}.{suffix}"
+        stem = _OTHER_STEMS[int(rng.integers(len(_OTHER_STEMS)))]
+        return f"{stem}{int(rng.integers(1, 100))}.{domain}"

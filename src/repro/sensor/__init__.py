@@ -1,0 +1,119 @@
+"""The DNS backscatter sensor: the paper's core contribution (§ III).
+
+Collection → selection → features → classification → training-over-time,
+consuming only (originator, querier, timestamp) tuples plus querier
+metadata, exactly as the published system does.
+"""
+
+from repro.sensor.collection import (
+    DEDUP_WINDOW_SECONDS,
+    ObservationWindow,
+    OriginatorObservation,
+    collect_window,
+    dedup_entries,
+)
+from repro.sensor.curation import (
+    MIN_EXAMPLES_PER_CLASS,
+    MIN_TOTAL_EXAMPLES,
+    LabeledExample,
+    LabeledSet,
+)
+from repro.sensor.directory import (
+    QuerierDirectory,
+    QuerierInfo,
+    StaticDirectory,
+    WorldDirectory,
+)
+from repro.sensor.dynamic import (
+    DYNAMIC_FEATURE_NAMES,
+    PERIOD_SECONDS,
+    WindowContext,
+    dynamic_feature_dict,
+    dynamic_features,
+)
+from repro.sensor.features import (
+    FEATURE_NAMES,
+    FeatureSet,
+    extract_features,
+    feature_vector,
+)
+from repro.sensor.keywords import (
+    CATEGORY_KEYWORDS,
+    STATIC_CATEGORIES,
+    SUFFIX_CATEGORIES,
+    classify_name,
+    classify_querier,
+)
+from repro.sensor.pipeline import (
+    BackscatterPipeline,
+    ClassifiedOriginator,
+    default_forest_factory,
+)
+from repro.sensor.report import WindowReport, build_report, render_report
+from repro.sensor.selection import (
+    ANALYZABLE_THRESHOLD,
+    analyzable,
+    rank_by_footprint,
+    top_n,
+)
+from repro.sensor.streaming import StreamingCollector, StreamingStats
+from repro.sensor.static import (
+    STATIC_FEATURE_NAMES,
+    static_feature_dict,
+    static_features,
+)
+from repro.sensor.training import (
+    Strategy,
+    TimeSeriesEvaluation,
+    WindowScore,
+    evaluate_strategy,
+)
+
+__all__ = [
+    "DEDUP_WINDOW_SECONDS",
+    "ObservationWindow",
+    "OriginatorObservation",
+    "collect_window",
+    "dedup_entries",
+    "MIN_EXAMPLES_PER_CLASS",
+    "MIN_TOTAL_EXAMPLES",
+    "LabeledExample",
+    "LabeledSet",
+    "QuerierDirectory",
+    "QuerierInfo",
+    "StaticDirectory",
+    "WorldDirectory",
+    "DYNAMIC_FEATURE_NAMES",
+    "PERIOD_SECONDS",
+    "WindowContext",
+    "dynamic_feature_dict",
+    "dynamic_features",
+    "FEATURE_NAMES",
+    "FeatureSet",
+    "extract_features",
+    "feature_vector",
+    "CATEGORY_KEYWORDS",
+    "STATIC_CATEGORIES",
+    "SUFFIX_CATEGORIES",
+    "classify_name",
+    "classify_querier",
+    "BackscatterPipeline",
+    "ClassifiedOriginator",
+    "default_forest_factory",
+    "WindowReport",
+    "build_report",
+    "render_report",
+    "ANALYZABLE_THRESHOLD",
+    "analyzable",
+    "rank_by_footprint",
+    "top_n",
+    "StreamingCollector",
+    "StreamingStats",
+    "STATIC_FEATURE_NAMES",
+    "static_feature_dict",
+    "static_features",
+    "Strategy",
+    "TimeSeriesEvaluation",
+    "WindowScore",
+    "evaluate_strategy",
+]

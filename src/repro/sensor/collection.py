@@ -1,0 +1,131 @@
+"""Query-log collection: dedup and per-originator grouping (§ III-A/B/C).
+
+Raw authority logs contain bursts of duplicate queries from queriers that
+ignore DNS timeout rules; the paper "eliminate[s] duplicate queries from
+the same querier in a 30 s window" to avoid skewing query-rate estimates.
+After dedup, entries are grouped into one :class:`OriginatorObservation`
+per originator over the observation interval — the unit the feature
+extractor consumes.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+
+from repro.dnssim.message import QueryLogEntry
+
+__all__ = [
+    "DEDUP_WINDOW_SECONDS",
+    "dedup_entries",
+    "OriginatorObservation",
+    "ObservationWindow",
+    "collect_window",
+]
+
+DEDUP_WINDOW_SECONDS = 30.0
+
+
+def dedup_entries(
+    entries: list[QueryLogEntry], window: float = DEDUP_WINDOW_SECONDS
+) -> list[QueryLogEntry]:
+    """Drop repeats of the same (querier, originator) within *window* seconds.
+
+    Entries must be in non-decreasing timestamp order (authority logs are
+    append-ordered).  The first query of each burst is kept; a repeat is
+    dropped when it falls strictly within *window* of the last *kept*
+    query for that pair, matching rate-limiting semantics.
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    kept: list[QueryLogEntry] = []
+    last_kept: dict[tuple[int, int], float] = {}
+    previous_ts = float("-inf")
+    for entry in entries:
+        if entry.timestamp < previous_ts:
+            raise ValueError("entries are not time-ordered")
+        previous_ts = entry.timestamp
+        key = (entry.querier, entry.originator)
+        last = last_kept.get(key)
+        if last is not None and entry.timestamp - last < window:
+            continue
+        last_kept[key] = entry.timestamp
+        kept.append(entry)
+    return kept
+
+
+@dataclass(slots=True)
+class OriginatorObservation:
+    """All (deduped) reverse queries for one originator in one interval."""
+
+    originator: int
+    timestamps: list[float] = field(default_factory=list)
+    queriers: list[int] = field(default_factory=list)
+    _unique: set[int] = field(default_factory=set)
+
+    def add(self, timestamp: float, querier: int) -> None:
+        self.timestamps.append(timestamp)
+        self.queriers.append(querier)
+        self._unique.add(querier)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def unique_queriers(self) -> frozenset[int]:
+        return frozenset(self._unique)
+
+    @property
+    def footprint(self) -> int:
+        """Unique querier count — the paper's footprint estimate (§ VI-A)."""
+        return len(self._unique)
+
+
+@dataclass(slots=True)
+class ObservationWindow:
+    """One observation interval's worth of grouped originator activity."""
+
+    start: float
+    end: float
+    observations: dict[int, OriginatorObservation] = field(default_factory=dict)
+
+    @property
+    def duration_days(self) -> float:
+        return (self.end - self.start) / 86400.0
+
+    def originators(self) -> list[int]:
+        return list(self.observations)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __contains__(self, originator: int) -> bool:
+        return originator in self.observations
+
+    def get(self, originator: int) -> OriginatorObservation | None:
+        return self.observations.get(originator)
+
+
+def collect_window(
+    entries: list[QueryLogEntry],
+    start: float,
+    end: float,
+    dedup_window: float = DEDUP_WINDOW_SECONDS,
+) -> ObservationWindow:
+    """Build an :class:`ObservationWindow` from raw log entries.
+
+    Filters to ``start <= t < end``, dedups, then groups by originator.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    in_range = [e for e in entries if start <= e.timestamp < end]
+    deduped = dedup_entries(in_range, dedup_window)
+    window = ObservationWindow(start=start, end=end)
+    for entry in deduped:
+        observation = window.observations.get(entry.originator)
+        if observation is None:
+            observation = OriginatorObservation(originator=entry.originator)
+            window.observations[entry.originator] = observation
+        observation.add(entry.timestamp, entry.querier)
+    return window

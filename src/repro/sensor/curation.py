@@ -1,0 +1,110 @@
+"""Labeled ground truth: the expert-curated example sets (§ III-E, § IV-B).
+
+A :class:`LabeledSet` maps originator addresses to application classes,
+stamped with the curation day.  The paper requires roughly 20 examples
+per class and 200+ total before training is considered viable, customizes
+the set per vantage point, and (for long observations) re-curates every
+month or two; those policies live here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.activity.classes import APPLICATION_CLASSES
+
+__all__ = ["LabeledExample", "LabeledSet", "MIN_EXAMPLES_PER_CLASS", "MIN_TOTAL_EXAMPLES"]
+
+MIN_EXAMPLES_PER_CLASS = 20
+MIN_TOTAL_EXAMPLES = 200
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledExample:
+    """One expert-confirmed (originator, class) pair."""
+
+    originator: int
+    app_class: str
+    curated_day: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.app_class not in APPLICATION_CLASSES:
+            raise ValueError(f"unknown application class {self.app_class!r}")
+
+
+@dataclass(slots=True)
+class LabeledSet:
+    """A curated collection of labeled examples, one label per originator."""
+
+    examples: dict[int, LabeledExample] = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[int, str]], curated_day: float = 0.0
+    ) -> "LabeledSet":
+        labeled = cls()
+        for originator, app_class in pairs:
+            labeled.add(LabeledExample(originator, app_class, curated_day))
+        return labeled
+
+    def add(self, example: LabeledExample) -> None:
+        self.examples[example.originator] = example
+
+    def remove(self, originator: int) -> None:
+        self.examples.pop(originator, None)
+
+    def label_of(self, originator: int) -> str | None:
+        example = self.examples.get(originator)
+        return example.app_class if example else None
+
+    def originators(self) -> set[int]:
+        return set(self.examples)
+
+    def class_counts(self) -> Counter[str]:
+        return Counter(e.app_class for e in self.examples.values())
+
+    def classes_present(self) -> set[str]:
+        return {e.app_class for e in self.examples.values()}
+
+    def restrict_to(self, originators: set[int]) -> "LabeledSet":
+        """The sub-set whose originators appear in *originators* (the
+        "re-appearing labeled examples" of § V)."""
+        subset = LabeledSet()
+        for originator, example in self.examples.items():
+            if originator in originators:
+                subset.add(example)
+        return subset
+
+    def merged_with(self, other: "LabeledSet") -> "LabeledSet":
+        """Union; on conflict the *other* (newer curation) wins."""
+        merged = LabeledSet(examples=dict(self.examples))
+        for example in other.examples.values():
+            merged.add(example)
+        return merged
+
+    def is_trainable(
+        self,
+        min_per_class: int = MIN_EXAMPLES_PER_CLASS,
+        min_total: int = MIN_TOTAL_EXAMPLES,
+        min_classes: int = 2,
+    ) -> bool:
+        """Whether the paper's size requirements for training are met.
+
+        Classes below *min_per_class* are simply too sparse to learn, but
+        do not invalidate the set; what matters is having at least
+        *min_classes* adequately-sized classes and *min_total* examples.
+        """
+        counts = self.class_counts()
+        adequate = sum(1 for c in counts.values() if c >= min_per_class)
+        return adequate >= min_classes and sum(counts.values()) >= min_total
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[LabeledExample]:
+        return iter(self.examples.values())
+
+    def __contains__(self, originator: int) -> bool:
+        return originator in self.examples

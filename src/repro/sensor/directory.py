@@ -1,0 +1,81 @@
+"""Querier metadata directory: reverse name, ASN, and country lookups.
+
+The sensor classifies originators from *querier* metadata (§ III-C): the
+querier's reverse domain name (static features), its AS (via whois in the
+paper), and its country (via MaxMind GeoLiteCity).  This module isolates
+those lookups behind a small protocol so the pipeline is independent of
+where the metadata comes from — in this reproduction a
+:class:`WorldDirectory` answers from the synthetic world; in a deployment
+it would be a resolver plus whois/GeoIP clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.netmodel.world import NameStatus, World
+
+__all__ = ["QuerierInfo", "QuerierDirectory", "WorldDirectory", "StaticDirectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuerierInfo:
+    """Everything the feature extractor needs to know about one querier."""
+
+    addr: int
+    name: str | None
+    status: NameStatus
+    asn: int | None
+    country: str | None
+
+
+class QuerierDirectory(Protocol):
+    """Metadata provider; must be cheap to call per unique querier."""
+
+    def lookup(self, addr: int) -> QuerierInfo: ...
+
+
+class WorldDirectory:
+    """Directory backed by the synthetic world (exact whois + GeoIP)."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+        self._by_addr = {q.addr: q for q in world.queriers}
+
+    def lookup(self, addr: int) -> QuerierInfo:
+        querier = self._by_addr.get(addr)
+        if querier is not None:
+            return QuerierInfo(
+                addr=addr,
+                name=querier.name,
+                status=querier.name_status,
+                asn=querier.asn,
+                country=querier.country,
+            )
+        # An address we never populated: treat like unassigned space.
+        return QuerierInfo(
+            addr=addr,
+            name=None,
+            status=NameStatus.NXDOMAIN,
+            asn=self._world.asn_of(addr),
+            country=self._world.country_of(addr),
+        )
+
+
+class StaticDirectory:
+    """In-memory directory for tests and serialized datasets."""
+
+    def __init__(self, infos: dict[int, QuerierInfo] | None = None) -> None:
+        self._infos = dict(infos or {})
+
+    def add(self, info: QuerierInfo) -> None:
+        self._infos[info.addr] = info
+
+    def lookup(self, addr: int) -> QuerierInfo:
+        info = self._infos.get(addr)
+        if info is None:
+            return QuerierInfo(
+                addr=addr, name=None, status=NameStatus.NXDOMAIN, asn=None, country=None
+            )
+        return info

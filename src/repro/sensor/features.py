@@ -1,0 +1,103 @@
+"""Feature-vector assembly: static + dynamic per originator (§ III-C/D).
+
+The full vector is the 14 static fractions followed by the 8 dynamic
+features, identified by the originator's IP address, exactly the object
+the paper hands to its ML algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensor.collection import ObservationWindow, OriginatorObservation
+from repro.sensor.directory import QuerierDirectory
+from repro.sensor.dynamic import (
+    DYNAMIC_FEATURE_NAMES,
+    WindowContext,
+    dynamic_features,
+)
+from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
+from repro.sensor.static import STATIC_FEATURE_NAMES, static_features
+
+__all__ = ["FEATURE_NAMES", "FeatureSet", "feature_vector", "extract_features"]
+
+FEATURE_NAMES: tuple[str, ...] = STATIC_FEATURE_NAMES + DYNAMIC_FEATURE_NAMES
+
+
+@dataclass(slots=True)
+class FeatureSet:
+    """Feature vectors for all analyzable originators of one window."""
+
+    originators: np.ndarray
+    """Originator addresses, aligned with matrix rows."""
+    matrix: np.ndarray
+    """Shape (n_originators, len(FEATURE_NAMES))."""
+    context: WindowContext
+    footprints: np.ndarray
+    """Unique-querier counts, aligned with rows (for top-N slicing)."""
+
+    def __len__(self) -> int:
+        return len(self.originators)
+
+    def row_of(self, originator: int) -> np.ndarray | None:
+        """The feature vector for one originator, or None if absent."""
+        hits = np.nonzero(self.originators == originator)[0]
+        return self.matrix[hits[0]] if len(hits) else None
+
+    def subset(self, originators: set[int]) -> "FeatureSet":
+        """Rows restricted to the given originator addresses."""
+        mask = np.isin(self.originators, sorted(originators))
+        return FeatureSet(
+            originators=self.originators[mask],
+            matrix=self.matrix[mask],
+            context=self.context,
+            footprints=self.footprints[mask],
+        )
+
+    def top(self, n: int) -> "FeatureSet":
+        """Rows for the n largest footprints."""
+        order = np.lexsort((self.originators, -self.footprints))[:n]
+        return FeatureSet(
+            originators=self.originators[order],
+            matrix=self.matrix[order],
+            context=self.context,
+            footprints=self.footprints[order],
+        )
+
+
+def feature_vector(
+    observation: OriginatorObservation,
+    directory: QuerierDirectory,
+    context: WindowContext,
+) -> np.ndarray:
+    """One originator's full (static ‖ dynamic) vector."""
+    return np.concatenate(
+        [
+            static_features(observation, directory),
+            dynamic_features(observation, directory, context),
+        ]
+    )
+
+
+def extract_features(
+    window: ObservationWindow,
+    directory: QuerierDirectory,
+    min_queriers: int = ANALYZABLE_THRESHOLD,
+) -> FeatureSet:
+    """Feature vectors for every analyzable originator in the window."""
+    selected = analyzable(window, min_queriers)
+    context = WindowContext.from_window(window, directory)
+    originators = np.array([o.originator for o in selected], dtype=np.int64)
+    footprints = np.array([o.footprint for o in selected], dtype=np.int64)
+    if selected:
+        matrix = np.stack([feature_vector(o, directory, context) for o in selected])
+    else:
+        matrix = np.zeros((0, len(FEATURE_NAMES)))
+    return FeatureSet(
+        originators=originators,
+        matrix=matrix,
+        context=context,
+        footprints=footprints,
+    )

@@ -1,0 +1,141 @@
+"""The paper's querier-name keyword rules (§ III-C, static features).
+
+Categories, their keywords, and the matching discipline come straight
+from the text:
+
+* matching is by name component, favoring the left-most component;
+* within a component, the first matching rule in the listed order wins
+  (so both ``mail.ns.example.com`` and ``mail-ns.example.com`` are mail —
+  note the paper lists *home* first in its feature catalogue but its
+  worked example requires *mail* to outrank *ns*; we therefore order
+  rules mail-first among the service categories while keeping the
+  home/mail overlap ("pop" appears in both lists) resolved toward mail,
+  which also matches anti-spam practice);
+* CDN/AWS/Azure/Google are recognized by registered-domain suffix, and
+  only when no component keyword matched (``mail.google.com`` is mail);
+* queriers with no usable reverse name are *nxdomain* (no PTR record) or
+  *unreach* (their reverse zone's servers cannot be reached).
+
+This matcher is intentionally independent of the name *generator* in
+:mod:`repro.netmodel.namespace`: it implements the published rules, and
+runs against whatever names the world synthesizes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netmodel.world import NameStatus
+
+__all__ = [
+    "STATIC_CATEGORIES",
+    "CATEGORY_KEYWORDS",
+    "SUFFIX_CATEGORIES",
+    "classify_name",
+    "classify_querier",
+]
+
+#: Feature-vector order for the static features; the three pseudo
+#: categories (other/unreach/nxdomain) close the list.
+STATIC_CATEGORIES: tuple[str, ...] = (
+    "home",
+    "mail",
+    "ns",
+    "fw",
+    "antispam",
+    "www",
+    "ntp",
+    "cdn",
+    "aws",
+    "ms",
+    "google",
+    "other",
+    "unreach",
+    "nxdomain",
+)
+
+#: Component-keyword rules in match order (see module docstring for why
+#: mail precedes home).  Keywords match a token exactly or as its prefix
+#: ("send*" in the paper; dynamic19 matches "dynamic", resolver matches
+#: "resolv").
+CATEGORY_KEYWORDS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    (
+        "mail",
+        (
+            "mail", "mx", "smtp", "post", "correo", "poczta", "send", "lists",
+            "newsletter", "zimbra", "mta", "pop", "imap",
+        ),
+    ),
+    (
+        "home",
+        (
+            "ap", "cable", "cpe", "customer", "dsl", "dynamic", "fiber",
+            "flets", "home", "host", "ip", "net", "pool", "retail", "user",
+        ),
+    ),
+    ("antispam", ("ironport", "spam")),
+    ("ns", ("cns", "dns", "ns", "cache", "resolv", "name")),
+    ("fw", ("firewall", "wall", "fw")),
+    ("www", ("www",)),
+    ("ntp", ("ntp",)),
+)
+
+#: Registered-domain suffixes for infrastructure categories.
+SUFFIX_CATEGORIES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    (
+        "cdn",
+        (
+            "akamai.net", "akamaitechnologies.com", "akamaiedge.net",
+            "edgecastcdn.net", "edgecast.com", "cdngc.net", "cdnetworks.com",
+            "llnw.net", "llnwd.net",
+        ),
+    ),
+    ("aws", ("amazonaws.com",)),
+    ("ms", ("azure.com", "cloudapp.net", "azurewebsites.net")),
+    ("google", ("google.com", "googlebot.com", "1e100.net", "googleusercontent.com")),
+)
+
+_TOKEN_SPLIT = re.compile(r"[^a-z]+")
+
+
+def _component_category(component: str) -> str | None:
+    """First matching category for one name component, or None."""
+    tokens = [t for t in _TOKEN_SPLIT.split(component.lower()) if t]
+    if not tokens:
+        return None
+    for category, keywords in CATEGORY_KEYWORDS:
+        for token in tokens:
+            for keyword in keywords:
+                if token.startswith(keyword):
+                    return category
+    return None
+
+
+def classify_name(name: str) -> str:
+    """Static category of one reverse domain name.
+
+    Walks components left to right applying the keyword rules, then falls
+    back to registered-domain suffixes, then ``other``.
+    """
+    lowered = name.lower().rstrip(".")
+    components = lowered.split(".")
+    # The TLD never carries host semantics — and ".net" would otherwise
+    # trip the home keyword "net" for every name under that TLD.
+    for component in components[:-1] if len(components) > 1 else components:
+        category = _component_category(component)
+        if category is not None:
+            return category
+    for category, suffixes in SUFFIX_CATEGORIES:
+        for suffix in suffixes:
+            if lowered == suffix or lowered.endswith("." + suffix):
+                return category
+    return "other"
+
+
+def classify_querier(name: str | None, status: NameStatus) -> str:
+    """Static category for a querier, including the nameless cases."""
+    if status is NameStatus.UNREACH:
+        return "unreach"
+    if status is NameStatus.NXDOMAIN or name is None:
+        return "nxdomain"
+    return classify_name(name)

@@ -1,0 +1,141 @@
+"""End-to-end backscatter classification pipeline (Figure 2 of the paper).
+
+Glues the stages together: an authority's query log → observation window
+(dedup + grouping) → analyzable-originator feature vectors → trained
+classifier → application-class labels.  Non-deterministic classifiers are
+run several times with majority voting, per § III-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dnssim.authority import Authority
+from repro.ml.forest import ForestConfig, RandomForestClassifier
+from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
+from repro.sensor.collection import collect_window
+from repro.sensor.curation import LabeledSet
+from repro.sensor.directory import QuerierDirectory
+from repro.sensor.features import FeatureSet, extract_features
+from repro.sensor.selection import ANALYZABLE_THRESHOLD
+
+__all__ = ["ClassifiedOriginator", "BackscatterPipeline", "default_forest_factory"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifiedOriginator:
+    """One pipeline verdict."""
+
+    originator: int
+    app_class: str
+    footprint: int
+
+
+def default_forest_factory(seed: int) -> RandomForestClassifier:
+    """The paper's preferred classifier (RF wins Table III)."""
+    return RandomForestClassifier(ForestConfig(n_trees=60), seed=seed)
+
+
+class BackscatterPipeline:
+    """Trainable sensor: fit on labeled examples, classify observations.
+
+    Parameters
+    ----------
+    directory:
+        Querier metadata source (names, ASNs, countries).
+    factory:
+        Builds a classifier from a seed; defaults to random forest.
+    majority_runs:
+        How many times to run the stochastic classifier per prediction,
+        taking the majority label (the paper uses 10).
+    min_queriers:
+        Analyzability threshold (§ III-B; 20 in the paper).
+    """
+
+    def __init__(
+        self,
+        directory: QuerierDirectory,
+        factory: Callable[[int], Classifier] = default_forest_factory,
+        majority_runs: int = 10,
+        min_queriers: int = ANALYZABLE_THRESHOLD,
+        seed: int = 0,
+    ) -> None:
+        self.directory = directory
+        self.factory = factory
+        self.majority_runs = majority_runs
+        self.min_queriers = min_queriers
+        self.seed = seed
+        self.encoder = LabelEncoder()
+        self._train_X: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def features_from_log(
+        self, authority: Authority, start: float, end: float
+    ) -> FeatureSet:
+        """Stage 1+2: window the log, dedup, select, extract features."""
+        window = collect_window(list(authority.log), start, end)
+        return extract_features(window, self.directory, self.min_queriers)
+
+    def training_data(
+        self, features: FeatureSet, labeled: LabeledSet
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Feature rows and encoded labels for labeled originators present."""
+        rows: list[np.ndarray] = []
+        labels: list[str] = []
+        used: list[int] = []
+        for example in labeled:
+            row = features.row_of(example.originator)
+            if row is None:
+                continue
+            rows.append(row)
+            labels.append(example.app_class)
+            used.append(example.originator)
+        if not rows:
+            raise ValueError("no labeled originators appear in the features")
+        for name in labels:
+            self.encoder.add(name)
+        return np.stack(rows), self.encoder.encode(labels), used
+
+    def fit(self, features: FeatureSet, labeled: LabeledSet) -> "BackscatterPipeline":
+        """Train on the labeled originators present in *features*."""
+        X, y, _ = self.training_data(features, labeled)
+        self._train_X = X
+        self._train_y = y
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_X is not None
+
+    def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:
+        """Majority-vote classification of every originator in *features*."""
+        if self._train_X is None or self._train_y is None:
+            raise RuntimeError("pipeline is not fitted")
+        if len(features) == 0:
+            return []
+        votes = majority_vote_predict(
+            self.factory,
+            self._train_X,
+            self._train_y,
+            features.matrix,
+            runs=self.majority_runs,
+            seed=self.seed,
+        )
+        names = self.encoder.decode(votes)
+        return [
+            ClassifiedOriginator(
+                originator=int(features.originators[i]),
+                app_class=names[i],
+                footprint=int(features.footprints[i]),
+            )
+            for i in range(len(features))
+        ]
+
+    def classify_map(self, features: FeatureSet) -> dict[int, str]:
+        """Classification as an originator → class mapping."""
+        return {c.originator: c.app_class for c in self.classify(features)}

@@ -1,0 +1,121 @@
+"""Operational sensor reports: one window's findings as readable text.
+
+The paper positions backscatter as input to "detection and response"
+(§ I); an operator consuming the sensor does so through a periodic
+report.  :func:`build_report` and :func:`render_report` turn one
+observation window — population, class mix, the largest originators,
+arrivals/departures against the previous window, and any class surges —
+into markdown text, built entirely from the public sensor APIs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.netmodel.addressing import ip_to_str, slash24
+from repro.sensor.collection import ObservationWindow
+
+if TYPE_CHECKING:  # avoid a sensor -> analysis import cycle at runtime
+    from repro.analysis.alerts import Alert
+
+__all__ = ["WindowReport", "build_report", "render_report"]
+
+
+@dataclass(slots=True)
+class WindowReport:
+    """Structured findings for one window, ready to render or ship."""
+
+    start_day: float
+    end_day: float
+    observed_originators: int
+    analyzable_originators: int
+    class_counts: dict[str, int]
+    top_originators: list[tuple[int, int, str]]
+    """(address, footprint, class) for the biggest footprints."""
+    new_originators: set[int] = field(default_factory=set)
+    departed_originators: set[int] = field(default_factory=set)
+    alerts: list["Alert"] = field(default_factory=list)
+    dense_blocks: list[tuple[int, int]] = field(default_factory=list)
+    """(/24 key, classified members) for blocks hosting several originators."""
+
+
+def build_report(
+    window: ObservationWindow,
+    classification: dict[int, str],
+    previous_classification: dict[int, str] | None = None,
+    alerts: list["Alert"] | None = None,
+    min_queriers: int = 20,
+    top: int = 10,
+    dense_block_size: int = 3,
+) -> WindowReport:
+    """Assemble a report from one window's observations + classification."""
+    analyzable = [
+        o for o in window.observations.values() if o.footprint >= min_queriers
+    ]
+    ranked = sorted(analyzable, key=lambda o: (-o.footprint, o.originator))
+    top_rows = [
+        (o.originator, o.footprint, classification.get(o.originator, "?"))
+        for o in ranked[:top]
+    ]
+    current = set(classification)
+    previous = set(previous_classification or {})
+    blocks = Counter(slash24(o) for o in classification)
+    dense = sorted(
+        ((b, n) for b, n in blocks.items() if n >= dense_block_size),
+        key=lambda kv: -kv[1],
+    )
+    return WindowReport(
+        start_day=window.start / 86400.0,
+        end_day=window.end / 86400.0,
+        observed_originators=len(window),
+        analyzable_originators=len(analyzable),
+        class_counts=dict(Counter(classification.values())),
+        top_originators=top_rows,
+        new_originators=current - previous if previous_classification is not None else set(),
+        departed_originators=previous - current,
+        alerts=list(alerts or []),
+        dense_blocks=dense,
+    )
+
+
+def render_report(report: WindowReport) -> str:
+    """Render a report as plain markdown text."""
+    lines = [
+        f"# Backscatter sensor report — days {report.start_day:.1f} to {report.end_day:.1f}",
+        "",
+        f"* originators observed: {report.observed_originators}"
+        f" (analyzable: {report.analyzable_originators})",
+    ]
+    if report.class_counts:
+        mix = ", ".join(
+            f"{name}: {count}"
+            for name, count in sorted(report.class_counts.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"* class mix: {mix}")
+    if report.new_originators or report.departed_originators:
+        lines.append(
+            f"* churn: +{len(report.new_originators)} new, "
+            f"-{len(report.departed_originators)} departed"
+        )
+    if report.alerts:
+        lines.append("")
+        lines.append("## Alerts")
+        for alert in report.alerts:
+            lines.append(
+                f"* **{alert.app_class} surge** on day {alert.day:.0f}: "
+                f"{alert.observed} originators vs baseline {alert.baseline:.0f} "
+                f"(score {alert.score:.1f})"
+            )
+    if report.top_originators:
+        lines.append("")
+        lines.append("## Largest originators")
+        for address, footprint, app_class in report.top_originators:
+            lines.append(f"* {ip_to_str(address):<16} {footprint:>6} queriers  {app_class}")
+    if report.dense_blocks:
+        lines.append("")
+        lines.append("## Dense /24 blocks (possible teams)")
+        for block, members in report.dense_blocks:
+            lines.append(f"* {ip_to_str(block << 8)}/24 — {members} classified originators")
+    return "\n".join(lines) + "\n"

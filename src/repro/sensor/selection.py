@@ -1,0 +1,47 @@
+"""Interesting and analyzable originator selection (§ III-B).
+
+The sensor classifies only originators that are *analyzable* (at least 20
+unique queriers, enough signal to infer an application class) and
+*interesting* (the N with the most unique queriers — network-wide
+activity, not noise).
+"""
+
+from __future__ import annotations
+
+from repro.sensor.collection import ObservationWindow, OriginatorObservation
+
+__all__ = ["ANALYZABLE_THRESHOLD", "analyzable", "top_n", "rank_by_footprint"]
+
+ANALYZABLE_THRESHOLD = 20
+
+
+def analyzable(
+    window: ObservationWindow, min_queriers: int = ANALYZABLE_THRESHOLD
+) -> list[OriginatorObservation]:
+    """Originators with at least *min_queriers* unique queriers."""
+    if min_queriers < 1:
+        raise ValueError("min_queriers must be positive")
+    return [
+        observation
+        for observation in window.observations.values()
+        if observation.footprint >= min_queriers
+    ]
+
+
+def rank_by_footprint(
+    observations: list[OriginatorObservation],
+) -> list[OriginatorObservation]:
+    """Sort by unique-querier count, descending; originator IP breaks ties
+    so the ranking is total and reproducible."""
+    return sorted(observations, key=lambda o: (-o.footprint, o.originator))
+
+
+def top_n(
+    window: ObservationWindow,
+    n: int,
+    min_queriers: int = ANALYZABLE_THRESHOLD,
+) -> list[OriginatorObservation]:
+    """The N most interesting analyzable originators (paper's top-10000)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return rank_by_footprint(analyzable(window, min_queriers))[:n]

@@ -1,0 +1,185 @@
+"""Streaming backscatter collection: rolling windows over a live feed.
+
+The batch pipeline (:mod:`repro.sensor.collection`) assumes the whole log
+is on disk.  A deployed sensor instead tails a query stream (dnstap
+socket, SIE channel) and wants per-interval results as soon as each
+interval closes.  :class:`StreamingCollector` ingests entries one at a
+time, performs the same 30 s per-(querier, originator) dedup online with
+bounded memory, and emits a finished
+:class:`~repro.sensor.collection.ObservationWindow` whenever the clock
+crosses a window boundary.
+
+Guarantees:
+
+* output equivalence — feeding a time-ordered log through the collector
+  yields exactly the windows :func:`repro.sensor.collection.collect_window`
+  would produce for the same boundaries (tested property);
+* bounded state — dedup state older than the dedup window is pruned as
+  time advances, so memory is O(active pairs), not O(log);
+* tolerance for slightly out-of-order input within a configurable slack
+  (network capture reorders packets by milliseconds), with strictly-late
+  entries counted and dropped rather than corrupting closed windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.dnssim.message import QueryLogEntry
+from repro.sensor.collection import (
+    DEDUP_WINDOW_SECONDS,
+    ObservationWindow,
+    OriginatorObservation,
+)
+
+__all__ = ["StreamingStats", "StreamingCollector"]
+
+
+@dataclass(slots=True)
+class StreamingStats:
+    """Ingest accounting."""
+
+    ingested: int = 0
+    deduplicated: int = 0
+    late_dropped: int = 0
+    windows_emitted: int = 0
+
+
+class StreamingCollector:
+    """Online windowing + dedup over a (nearly) time-ordered entry feed.
+
+    Parameters
+    ----------
+    window_seconds:
+        Observation interval length; windows are aligned to multiples of
+        this from ``origin``.
+    origin:
+        Timestamp where window 0 begins.
+    dedup_window:
+        Per-(querier, originator) duplicate suppression horizon.
+    reorder_slack:
+        How far behind the newest-seen timestamp an entry may arrive and
+        still be accepted.  Entries later than this are dropped (counted
+        in ``stats.late_dropped``); windows are only emitted once the
+        clock passes their end by this slack, so accepted reordering can
+        never mutate an emitted window.
+    on_window:
+        Optional callback invoked with each completed window.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        origin: float = 0.0,
+        dedup_window: float = DEDUP_WINDOW_SECONDS,
+        reorder_slack: float = 2.0,
+        on_window: Callable[[ObservationWindow], None] | None = None,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if dedup_window < 0 or reorder_slack < 0:
+            raise ValueError("dedup_window and reorder_slack must be non-negative")
+        self.window_seconds = window_seconds
+        self.origin = origin
+        self.dedup_window = dedup_window
+        self.reorder_slack = reorder_slack
+        self.on_window = on_window
+        self.stats = StreamingStats()
+        self._high_water = float("-inf")
+        self._emitted_through = origin
+        self._last_kept: dict[tuple[int, int], float] = {}
+        self._open: dict[int, ObservationWindow] = {}
+        self._ready: list[ObservationWindow] = []
+
+    # ------------------------------------------------------------------
+
+    def _window_index(self, timestamp: float) -> int:
+        return int((timestamp - self.origin) // self.window_seconds)
+
+    def _window_for(self, index: int) -> ObservationWindow:
+        window = self._open.get(index)
+        if window is None:
+            window = ObservationWindow(
+                start=self.origin + index * self.window_seconds,
+                end=self.origin + (index + 1) * self.window_seconds,
+            )
+            self._open[index] = window
+        return window
+
+    def ingest(self, entry: QueryLogEntry) -> None:
+        """Feed one entry; may close windows as the clock advances."""
+        self.stats.ingested += 1
+        if entry.timestamp < self.origin:
+            self.stats.late_dropped += 1
+            return
+        if entry.timestamp < self._high_water - self.reorder_slack:
+            self.stats.late_dropped += 1
+            return
+        if entry.timestamp > self._high_water:
+            self._high_water = entry.timestamp
+        key = (entry.querier, entry.originator)
+        last = self._last_kept.get(key)
+        if last is not None and 0 <= entry.timestamp - last < self.dedup_window:
+            self.stats.deduplicated += 1
+            return
+        self._last_kept[key] = entry.timestamp
+        window = self._window_for(self._window_index(entry.timestamp))
+        observation = window.observations.get(entry.originator)
+        if observation is None:
+            observation = OriginatorObservation(originator=entry.originator)
+            window.observations[entry.originator] = observation
+        observation.add(entry.timestamp, entry.querier)
+        self._advance()
+
+    def ingest_many(self, entries: Iterable[QueryLogEntry]) -> None:
+        for entry in entries:
+            self.ingest(entry)
+
+    def _advance(self) -> None:
+        """Emit windows whose end is safely behind the high-water mark."""
+        safe_through = self._high_water - self.reorder_slack
+        for index in sorted(self._open):
+            window = self._open[index]
+            if window.end <= safe_through:
+                del self._open[index]
+                self._emit(window)
+            else:
+                break
+        # Prune dedup state too old to suppress anything anymore.
+        horizon = safe_through - self.dedup_window
+        if self.stats.ingested % 1024 == 0 and horizon > 0:
+            self._last_kept = {
+                key: ts for key, ts in self._last_kept.items() if ts >= horizon
+            }
+
+    def _emit(self, window: ObservationWindow) -> None:
+        self.stats.windows_emitted += 1
+        self._emitted_through = max(self._emitted_through, window.end)
+        self._ready.append(window)
+        if self.on_window is not None:
+            self.on_window(window)
+
+    # ------------------------------------------------------------------
+
+    def completed_windows(self) -> list[ObservationWindow]:
+        """Windows finished so far (drains the internal queue)."""
+        out = self._ready
+        self._ready = []
+        return out
+
+    def flush(self) -> list[ObservationWindow]:
+        """Close and return every still-open window (end of stream)."""
+        remaining = [self._open[i] for i in sorted(self._open)]
+        self._open.clear()
+        for window in remaining:
+            self._emit(window)
+        return self.completed_windows()
+
+    @property
+    def pending_windows(self) -> int:
+        return len(self._open)
+
+    @property
+    def dedup_state_size(self) -> int:
+        return len(self._last_kept)

@@ -1,0 +1,32 @@
+"""SVG figure rendering for the reproduced results (no plotting deps)."""
+
+from repro.viz.figures import (
+    render_all,
+    render_fig3,
+    render_fig4,
+    render_fig5_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig11,
+    render_fig12,
+    render_fig15,
+)
+from repro.viz.svg import PALETTE, Axis, Chart, Scale
+
+__all__ = [
+    "render_all",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig11",
+    "render_fig12",
+    "render_fig15",
+    "PALETTE",
+    "Axis",
+    "Chart",
+    "Scale",
+]

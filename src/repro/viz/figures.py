@@ -1,0 +1,229 @@
+"""Figure renderers: experiment results → paper-style SVG plots.
+
+Each function takes the structured result of the matching
+:mod:`repro.experiments` module and writes one SVG.  The visual idiom
+follows the paper (log-log scatter + fit for Fig 4, CCDF curves for
+Fig 9, CDF family for Fig 8, stacked class counts for Fig 11, weekly
+boxes for Fig 12, churn bars above/below the axis for Fig 15).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.viz.svg import Axis, Chart
+
+__all__ = [
+    "render_fig3",
+    "render_fig4",
+    "render_fig5_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig11",
+    "render_fig12",
+    "render_fig15",
+    "render_all",
+]
+
+
+def render_fig3(cases, path: str | Path) -> Path:
+    """Fig 3: static feature composition per case study (stacked bars)."""
+    chart = Chart(
+        "Fig 3 — static features per case study",
+        Axis("case study"),
+        Axis("fraction of queriers", low=0.0, high=1.05),
+        width=760,
+    )
+    xs = list(range(1, len(cases) + 1))
+    shown = ("home", "mail", "ns", "fw", "antispam", "other", "unreach", "nxdomain")
+    layers = {
+        category: [case.static.get(category, 0.0) for case in cases]
+        for category in shown
+    }
+    # Collapse whatever is left into "rest" so bars sum to 1.
+    layers["rest"] = [
+        max(0.0, 1.0 - sum(layers[c][i] for c in shown)) for i in range(len(cases))
+    ]
+    chart.stacked_bars(xs, layers)
+    return chart.save(path)
+
+
+def render_fig4(result, path: str | Path) -> Path:
+    """Fig 4: queriers vs targets, log-log, with the power-law fit."""
+    chart = Chart(
+        "Fig 4 — controlled scans: queriers vs targets",
+        Axis("targets (addresses)", log=True),
+        Axis("unique queriers", log=True),
+    )
+    finals = [(t.targets, t.final_queriers) for t in result.trials if t.final_queriers > 0]
+    roots = [(t.targets, t.m_root_queriers) for t in result.trials if t.m_root_queriers > 0]
+    if finals:
+        chart.scatter(*zip(*finals), label="final authority")
+    if roots:
+        chart.scatter(*zip(*roots), label="m-root", radius=2.5)
+    if finals and np.isfinite(result.power):
+        xs = np.array(sorted(x for x, _ in finals), dtype=float)
+        chart.line(xs, result.coefficient * xs**result.power,
+                   label=f"fit: x^{result.power:.2f}", dashed=True)
+    targets_low = min((x for x, _ in finals), default=1)
+    targets_high = max((x for x, _ in finals), default=10)
+    chart.line([targets_low, targets_high], [20.0, 20.0],
+               label="detection threshold (20)", color="#999999", dashed=True)
+    return chart.save(path)
+
+
+def render_fig5_fig6(result, path: str | Path) -> Path:
+    """Figs 5/6: labeled-example activity around the curation day."""
+    chart = Chart(
+        "Figs 5/6 — re-appearing labeled examples",
+        Axis("day"),
+        Axis("active labeled examples", low=0.0),
+    )
+    chart.line(*zip(*result.benign), label="benign")
+    chart.line(*zip(*result.malicious), label="malicious (scan+spam)")
+    chart.vline(result.curation_day, label="curation")
+    return chart.save(path)
+
+
+def render_fig7(result, path: str | Path) -> Path:
+    """Fig 7: f-score over time per training strategy."""
+    chart = Chart(
+        "Fig 7 — training strategies over time",
+        Axis("day"),
+        Axis("f-score", low=0.0, high=1.05),
+    )
+    for strategy, evaluation in result.evaluations.items():
+        series = evaluation.f1_series()
+        if series:
+            chart.line(*zip(*series), label=strategy.value)
+    chart.vline(result.curation_day, label="curation")
+    return chart.save(path)
+
+
+def render_fig8(result, path: str | Path) -> Path:
+    """Fig 8: CDF of the majority-class ratio r, per querier threshold."""
+    chart = Chart(
+        "Fig 8 — CDF of majority-class ratio r",
+        Axis("ratio of majority class", low=0.0, high=1.02),
+        Axis("cumulative distribution", low=0.0, high=1.05),
+    )
+    for q in sorted(result.by_threshold):
+        values, cumulative = result.cdf(q)
+        if len(values):
+            chart.step_cdf(values, cumulative, label=f"q = {q} ({len(values)})")
+    return chart.save(path)
+
+
+def render_fig9(curves, path: str | Path) -> Path:
+    """Fig 9: CCDF of originator footprint sizes per dataset."""
+    chart = Chart(
+        "Fig 9 — footprint size distribution",
+        Axis("footprint (unique queriers)", log=True),
+        Axis("CCDF", log=True),
+    )
+    for curve in curves:
+        mask = curve.survival > 0
+        if mask.any():
+            chart.step_cdf(curve.x[mask], curve.survival[mask], label=curve.dataset)
+    return chart.save(path)
+
+
+def render_fig11(result, path: str | Path) -> Path:
+    """Fig 11: originators over time by class."""
+    chart = Chart(
+        "Fig 11 — originators over time (M-sampled)",
+        Axis("day"),
+        Axis("classified originators", low=0.0),
+        width=760,
+    )
+    days = [day for day, _, total in result.series if total > 0]
+    totals = [total for _, _, total in result.series if total > 0]
+    chart.line(days, totals, label="total", color="#000000")
+    for name in ("scan", "spam", "mail", "cdn"):
+        series = [
+            (day, counts.get(name, 0))
+            for day, counts, total in result.series
+            if total > 0
+        ]
+        if series:
+            chart.line(*zip(*series), label=name)
+    chart.vline(result.heartbleed_day, label="Heartbleed")
+    return chart.save(path)
+
+
+def render_fig12(result, path: str | Path) -> Path:
+    """Fig 12: scanner footprint boxes over time."""
+    chart = Chart(
+        "Fig 12 — scanner footprints over time",
+        Axis("day"),
+        Axis("unique queriers", low=0.0),
+        width=760,
+    )
+    chart.boxes(
+        [box.day for box in result.boxes],
+        [(box.p10, box.p25, box.median, box.p75, box.p90) for box in result.boxes],
+    )
+    return chart.save(path)
+
+
+def render_fig15(result, path: str | Path) -> Path:
+    """Fig 15: weekly churn — new/continuing above zero, departing below."""
+    chart = Chart(
+        "Fig 15 — scanner churn (M-sampled)",
+        Axis("day"),
+        Axis("originators (departing below 0)"),
+        width=760,
+    )
+    days = [point.day for point in result.points]
+    chart.stacked_bars(
+        days,
+        {
+            "continuing": [point.continuing for point in result.points],
+            "new": [point.new for point in result.points],
+        },
+    )
+    chart.line(days, [-point.departing for point in result.points],
+               label="departing", color="#D55E00")
+    chart.line([min(days, default=0), max(days, default=1)], [0.0, 0.0],
+               color="#444444")
+    return chart.save(path)
+
+
+def render_all(output_dir: str | Path, preset: str = "default") -> list[Path]:
+    """Render every implemented figure into *output_dir*.
+
+    Runs the corresponding experiments first; with the default preset
+    the longitudinal ones regenerate month-scale datasets (minutes).
+    """
+    from repro.experiments import (
+        case_studies,
+        fig4_controlled,
+        fig5_fig6_stability,
+        fig7_strategies,
+        fig8_consistency,
+        fig9_footprints,
+        fig11_trends,
+        fig12_footprint_boxes,
+        fig15_churn,
+    )
+
+    output = Path(output_dir)
+    written = [
+        render_fig3(case_studies.run(preset), output / "fig3_static_features.svg"),
+        render_fig4(fig4_controlled.run(), output / "fig4_controlled.svg"),
+        render_fig9(fig9_footprints.run(preset=preset), output / "fig9_footprints.svg"),
+    ]
+    written.append(
+        render_fig5_fig6(fig5_fig6_stability.run(preset), output / "fig5_fig6_stability.svg")
+    )
+    written.append(render_fig7(fig7_strategies.run(preset), output / "fig7_strategies.svg"))
+    written.append(render_fig8(fig8_consistency.run(preset), output / "fig8_consistency.svg"))
+    written.append(render_fig11(fig11_trends.run(preset), output / "fig11_trends.svg"))
+    written.append(
+        render_fig12(fig12_footprint_boxes.run(preset), output / "fig12_boxes.svg")
+    )
+    written.append(render_fig15(fig15_churn.run(preset), output / "fig15_churn.svg"))
+    return written

@@ -1,0 +1,354 @@
+"""Minimal SVG chart primitives (no plotting dependency available).
+
+Provides exactly what the paper's figures need: linear and log axes,
+polylines, scatter markers, stacked bars, box-and-whisker glyphs, step
+CDFs, and a legend — emitted as standalone SVG documents.  Layout is
+deliberately simple: one plot area with margins, ticks chosen from
+"nice" values, everything styled inline so files render anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["Scale", "Axis", "Chart", "PALETTE"]
+
+#: Colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#F0E442", "#56B4E9", "#E69F00", "#000000",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Maps data values to pixel coordinates, linearly or in log10."""
+
+    low: float
+    high: float
+    pixel_low: float
+    pixel_high: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.log and (self.low <= 0 or self.high <= 0):
+            raise ValueError("log scale requires positive bounds")
+        if self.high <= self.low:
+            raise ValueError("scale bounds must be increasing")
+
+    def __call__(self, value: float) -> float:
+        if self.log:
+            position = (math.log10(value) - math.log10(self.low)) / (
+                math.log10(self.high) - math.log10(self.low)
+            )
+        else:
+            position = (value - self.low) / (self.high - self.low)
+        return self.pixel_low + position * (self.pixel_high - self.pixel_low)
+
+    def ticks(self, target: int = 6) -> list[float]:
+        """Nicely spaced tick values covering the domain."""
+        if self.log:
+            low_exp = math.floor(math.log10(self.low))
+            high_exp = math.ceil(math.log10(self.high))
+            return [
+                10.0**e
+                for e in range(low_exp, high_exp + 1)
+                if self.low / 1.001 <= 10.0**e <= self.high * 1.001
+            ]
+        span = self.high - self.low
+        raw_step = span / max(target - 1, 1)
+        magnitude = 10 ** math.floor(math.log10(raw_step)) if raw_step > 0 else 1.0
+        for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+            step = multiple * magnitude
+            if span / step <= target:
+                break
+        first = math.ceil(self.low / step) * step
+        values = []
+        value = first
+        while value <= self.high * 1.0001:
+            values.append(round(value, 10))
+            value += step
+        return values
+
+
+def _format_tick(value: float, log: bool) -> str:
+    if log:
+        exponent = round(math.log10(value))
+        if abs(10.0**exponent - value) / value < 1e-9:
+            return f"1e{exponent}" if abs(exponent) > 3 else f"{value:g}"
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class Axis:
+    """Axis description: label plus optional log scaling and bounds."""
+
+    label: str = ""
+    log: bool = False
+    low: float | None = None
+    high: float | None = None
+
+
+class Chart:
+    """One SVG chart.  Add series, then :meth:`render` or :meth:`save`."""
+
+    def __init__(
+        self,
+        title: str,
+        x_axis: Axis,
+        y_axis: Axis,
+        width: int = 640,
+        height: int = 420,
+    ) -> None:
+        self.title = title
+        self.x_axis = x_axis
+        self.y_axis = y_axis
+        self.width = width
+        self.height = height
+        self.margin = {"left": 64, "right": 16, "top": 34, "bottom": 48}
+        self._elements: list[str] = []
+        self._legend: list[tuple[str, str]] = []
+        self._x_values: list[float] = []
+        self._y_values: list[float] = []
+        self._pending: list[tuple] = []
+
+    # -- series builders (recorded, rendered at save time) ---------------
+
+    def line(self, xs: Sequence[float], ys: Sequence[float], label: str = "",
+             color: str | None = None, dashed: bool = False) -> None:
+        self._note(xs, ys)
+        self._pending.append(("line", list(xs), list(ys), label, color, dashed))
+
+    def scatter(self, xs: Sequence[float], ys: Sequence[float], label: str = "",
+                color: str | None = None, radius: float = 3.0) -> None:
+        self._note(xs, ys)
+        self._pending.append(("scatter", list(xs), list(ys), label, color, radius))
+
+    def step_cdf(self, values: Sequence[float], cumulative: Sequence[float],
+                 label: str = "", color: str | None = None) -> None:
+        self._note(values, cumulative)
+        self._pending.append(("step", list(values), list(cumulative), label, color, False))
+
+    def vline(self, x: float, label: str = "", color: str = "#999999") -> None:
+        self._note([x], [])
+        self._pending.append(("vline", [x], [], label, color, False))
+
+    def boxes(self, xs: Sequence[float],
+              quantiles: Sequence[tuple[float, float, float, float, float]],
+              label: str = "", color: str | None = None,
+              box_width: float | None = None) -> None:
+        """Box-and-whisker glyphs; quantiles are (p10, p25, p50, p75, p90)."""
+        ys = [q for tup in quantiles for q in tup]
+        self._note(xs, ys)
+        self._pending.append(("boxes", list(xs), list(quantiles), label, color, box_width))
+
+    def stacked_bars(self, xs: Sequence[float],
+                     layers: dict[str, Sequence[float]],
+                     bar_width: float | None = None) -> None:
+        totals = [sum(layer[i] for layer in layers.values()) for i in range(len(xs))]
+        self._note(xs, totals + [0.0])
+        self._pending.append(("stacked", list(xs), dict(layers), "", None, bar_width))
+
+    def _note(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        self._x_values.extend(float(x) for x in xs)
+        self._y_values.extend(float(y) for y in ys)
+
+    # -- rendering --------------------------------------------------------
+
+    def _scales(self) -> tuple[Scale, Scale]:
+        def bounds(axis: Axis, values: list[float]) -> tuple[float, float]:
+            data = [v for v in values if not axis.log or v > 0]
+            low = axis.low if axis.low is not None else (min(data) if data else 0.0)
+            high = axis.high if axis.high is not None else (max(data) if data else 1.0)
+            if axis.log:
+                low = max(low, 1e-12)
+                if high <= low:
+                    high = low * 10
+            elif high <= low:
+                high = low + 1.0
+            if not axis.log and axis.low is None and low > 0 and low / high < 0.3:
+                low = 0.0  # anchor near-zero linear axes at zero
+            return low, high
+
+        x_low, x_high = bounds(self.x_axis, self._x_values)
+        y_low, y_high = bounds(self.y_axis, self._y_values)
+        x_scale = Scale(x_low, x_high, self.margin["left"],
+                        self.width - self.margin["right"], log=self.x_axis.log)
+        y_scale = Scale(y_low, y_high, self.height - self.margin["bottom"],
+                        self.margin["top"], log=self.y_axis.log)
+        return x_scale, y_scale
+
+    def _color(self, explicit: str | None, index: int) -> str:
+        return explicit or PALETTE[index % len(PALETTE)]
+
+    def render(self) -> str:
+        x_scale, y_scale = self._scales()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-size="14">{escape(self.title)}</text>',
+        ]
+        parts.extend(self._render_axes(x_scale, y_scale))
+        series_index = 0
+        for kind, xs, ys, label, color, extra in self._pending:
+            chosen = self._color(color, series_index)
+            if kind == "vline":
+                x = x_scale(xs[0])
+                parts.append(
+                    f'<line x1="{x:.1f}" y1="{y_scale.pixel_high:.1f}" '
+                    f'x2="{x:.1f}" y2="{y_scale.pixel_low:.1f}" stroke="{color}" '
+                    f'stroke-dasharray="4 3"/>'
+                )
+                if label:
+                    parts.append(
+                        f'<text x="{x + 4:.1f}" y="{y_scale.pixel_high + 12:.1f}" '
+                        f'fill="{color}">{escape(label)}</text>'
+                    )
+                continue
+            if kind == "stacked":
+                parts.extend(self._render_stacked(xs, ys, x_scale, y_scale, extra))
+                continue
+            if label:
+                self._legend.append((label, chosen))
+            if kind == "line" or kind == "step":
+                points = self._points(xs, ys, x_scale, y_scale, step=(kind == "step"))
+                if points:
+                    dash = ' stroke-dasharray="6 4"' if (kind == "line" and extra) else ""
+                    parts.append(
+                        f'<polyline fill="none" stroke="{chosen}" stroke-width="1.8"'
+                        f'{dash} points="{points}"/>'
+                    )
+            elif kind == "scatter":
+                for x, y in zip(xs, ys):
+                    if self._plottable(x, y):
+                        parts.append(
+                            f'<circle cx="{x_scale(x):.1f}" cy="{y_scale(y):.1f}" '
+                            f'r="{extra}" fill="{chosen}" fill-opacity="0.75"/>'
+                        )
+            elif kind == "boxes":
+                parts.extend(self._render_boxes(xs, ys, x_scale, y_scale, chosen, extra))
+            series_index += 1
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _plottable(self, x: float, y: float) -> bool:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return False
+        if self.x_axis.log and x <= 0:
+            return False
+        if self.y_axis.log and y <= 0:
+            return False
+        return True
+
+    def _points(self, xs, ys, x_scale, y_scale, step: bool) -> str:
+        coordinates = []
+        previous = None
+        for x, y in zip(xs, ys):
+            if not self._plottable(x, y):
+                previous = None
+                continue
+            px, py = x_scale(x), y_scale(y)
+            if step and previous is not None:
+                coordinates.append(f"{px:.1f},{previous:.1f}")
+            coordinates.append(f"{px:.1f},{py:.1f}")
+            previous = py
+        return " ".join(coordinates)
+
+    def _render_boxes(self, xs, quantiles, x_scale, y_scale, color, box_width):
+        width = box_width or max(
+            4.0, (x_scale.pixel_high - x_scale.pixel_low) / max(len(xs), 1) * 0.5
+        )
+        for x, (p10, p25, p50, p75, p90) in zip(xs, quantiles):
+            cx = x_scale(x)
+            half = width / 2
+            y10, y25, y50, y75, y90 = (y_scale(v) for v in (p10, p25, p50, p75, p90))
+            yield (
+                f'<line x1="{cx:.1f}" y1="{y10:.1f}" x2="{cx:.1f}" y2="{y90:.1f}" '
+                f'stroke="{color}"/>'
+            )
+            yield (
+                f'<rect x="{cx - half:.1f}" y="{y75:.1f}" width="{width:.1f}" '
+                f'height="{max(y25 - y75, 0.5):.1f}" fill="{color}" '
+                f'fill-opacity="0.35" stroke="{color}"/>'
+            )
+            yield (
+                f'<line x1="{cx - half:.1f}" y1="{y50:.1f}" x2="{cx + half:.1f}" '
+                f'y2="{y50:.1f}" stroke="{color}" stroke-width="2"/>'
+            )
+
+    def _render_stacked(self, xs, layers: dict, x_scale, y_scale, bar_width):
+        width = bar_width or max(
+            6.0, (x_scale.pixel_high - x_scale.pixel_low) / max(len(xs), 1) * 0.7
+        )
+        baseline = [0.0] * len(xs)
+        for layer_index, (name, values) in enumerate(layers.items()):
+            color = PALETTE[layer_index % len(PALETTE)]
+            self._legend.append((name, color))
+            for i, x in enumerate(xs):
+                bottom = baseline[i]
+                top = bottom + values[i]
+                if values[i] <= 0:
+                    continue
+                y_top, y_bottom = y_scale(top), y_scale(bottom)
+                yield (
+                    f'<rect x="{x_scale(x) - width / 2:.1f}" y="{y_top:.1f}" '
+                    f'width="{width:.1f}" height="{max(y_bottom - y_top, 0.3):.1f}" '
+                    f'fill="{color}"/>'
+                )
+                baseline[i] = top
+
+    def _render_axes(self, x_scale: Scale, y_scale: Scale):
+        axis_color = "#444444"
+        x0, x1 = x_scale.pixel_low, x_scale.pixel_high
+        y0, y1 = y_scale.pixel_low, y_scale.pixel_high
+        yield f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="{axis_color}"/>'
+        yield f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="{axis_color}"/>'
+        for tick in x_scale.ticks():
+            px = x_scale(tick)
+            yield f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 4}" stroke="{axis_color}"/>'
+            yield (
+                f'<text x="{px:.1f}" y="{y0 + 16}" text-anchor="middle">'
+                f"{escape(_format_tick(tick, x_scale.log))}</text>"
+            )
+        for tick in y_scale.ticks():
+            py = y_scale(tick)
+            yield f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" stroke="{axis_color}"/>'
+            yield (
+                f'<text x="{x0 - 7}" y="{py + 3:.1f}" text-anchor="end">'
+                f"{escape(_format_tick(tick, y_scale.log))}</text>"
+            )
+        if self.x_axis.label:
+            yield (
+                f'<text x="{(x0 + x1) / 2:.1f}" y="{self.height - 8}" '
+                f'text-anchor="middle">{escape(self.x_axis.label)}</text>'
+            )
+        if self.y_axis.label:
+            mid_y = (y0 + y1) / 2
+            yield (
+                f'<text x="14" y="{mid_y:.1f}" text-anchor="middle" '
+                f'transform="rotate(-90 14 {mid_y:.1f})">{escape(self.y_axis.label)}</text>'
+            )
+
+    def _render_legend(self):
+        x = self.width - self.margin["right"] - 150
+        y = self.margin["top"] + 8
+        for index, (label, color) in enumerate(self._legend):
+            py = y + index * 15
+            yield f'<rect x="{x}" y="{py - 8}" width="10" height="10" fill="{color}"/>'
+            yield f'<text x="{x + 14}" y="{py + 1}">{escape(label)}</text>'
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(), encoding="utf-8")
+        return path

@@ -1,0 +1,45 @@
+"""Shared fixtures: a small world and hierarchy reused across test modules.
+
+World construction is the most expensive fixture, so it is session-scoped;
+tests must not mutate it (allocate addresses through function-scoped RNGs
+is fine — allocation only grows internal sets and cannot invalidate other
+tests' queriers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnssim import Authority, AuthorityLevel, DnsHierarchy
+from repro.netmodel import World, WorldConfig
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A reduced world: fast to build, still has every role and country."""
+    return World(WorldConfig(seed=42, scale=0.4))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def hierarchy(small_world: World) -> DnsHierarchy:
+    """A fresh hierarchy per test, with b/m roots and a JP national sensor."""
+    h = DnsHierarchy(small_world, seed=99)
+    h.attach_root(Authority(name="b-root", level=AuthorityLevel.ROOT, root_letter="b"))
+    h.attach_root(
+        Authority(name="m-root", level=AuthorityLevel.ROOT, root_letter="m", sites=7)
+    )
+    h.attach_national(
+        Authority(
+            name="jp-dns",
+            level=AuthorityLevel.NATIONAL,
+            country="jp",
+            scope_slash8=frozenset(small_world.geo.blocks_of("jp")),
+        )
+    )
+    return h

@@ -1,0 +1,154 @@
+"""Unit and property tests for IPv4 address math and reverse names."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netmodel.addressing import (
+    MAX_IPV4,
+    Prefix,
+    from_octets,
+    ip_to_reverse_name,
+    ip_to_str,
+    is_reverse_name,
+    octets,
+    prefix_of,
+    reverse_name_to_ip,
+    slash8,
+    slash16,
+    slash24,
+    str_to_ip,
+)
+
+addresses = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+class TestDottedQuad:
+    def test_known_values(self):
+        assert ip_to_str(0x01020304) == "1.2.3.4"
+        assert ip_to_str(0) == "0.0.0.0"
+        assert ip_to_str(MAX_IPV4) == "255.255.255.255"
+
+    def test_parse_known(self):
+        assert str_to_ip("1.2.3.4") == 0x01020304
+        assert str_to_ip("255.255.255.255") == MAX_IPV4
+
+    @given(addresses)
+    def test_roundtrip(self, addr):
+        assert str_to_ip(ip_to_str(addr)) == addr
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1..2.3", "-1.2.3.4"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            str_to_ip(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ip_to_str(MAX_IPV4 + 1)
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+
+
+class TestOctets:
+    @given(addresses)
+    def test_roundtrip(self, addr):
+        assert from_octets(*octets(addr)) == addr
+
+    def test_order_is_msb_first(self):
+        assert octets(0x01020304) == (1, 2, 3, 4)
+
+    def test_from_octets_rejects_bad(self):
+        with pytest.raises(ValueError):
+            from_octets(256, 0, 0, 0)
+
+
+class TestReverseNames:
+    def test_known_value(self):
+        # The paper's running example: originator 1.2.3.4 is queried as
+        # 4.3.2.1.in-addr.arpa (Figure 1).
+        assert ip_to_reverse_name(0x01020304) == "4.3.2.1.in-addr.arpa"
+
+    @given(addresses)
+    def test_roundtrip(self, addr):
+        assert reverse_name_to_ip(ip_to_reverse_name(addr)) == addr
+
+    def test_accepts_trailing_dot_and_case(self):
+        assert reverse_name_to_ip("4.3.2.1.IN-ADDR.ARPA.") == 0x01020304
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "example.com",
+            "3.2.1.in-addr.arpa",  # partial address (zone cut, not a PTR name)
+            "5.4.3.2.1.in-addr.arpa",
+            "4.3.2.1.ip6.arpa",
+        ],
+    )
+    def test_rejects_non_ptr_names(self, bad):
+        assert not is_reverse_name(bad)
+        with pytest.raises(ValueError):
+            reverse_name_to_ip(bad)
+
+    @given(addresses)
+    def test_is_reverse_name_accepts_all_valid(self, addr):
+        assert is_reverse_name(ip_to_reverse_name(addr))
+
+
+class TestPrefix:
+    def test_masks_host_bits(self):
+        p = Prefix(str_to_ip("10.1.2.3"), 24)
+        assert p.network == str_to_ip("10.1.2.0")
+
+    def test_membership(self):
+        p = Prefix.parse("192.168.0.0/16")
+        assert str_to_ip("192.168.255.255") in p
+        assert str_to_ip("192.169.0.0") not in p
+
+    def test_size_and_bounds(self):
+        p = Prefix.parse("1.0.0.0/8")
+        assert p.size == 1 << 24
+        assert p.first == str_to_ip("1.0.0.0")
+        assert p.last == str_to_ip("1.255.255.255")
+
+    def test_nth(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.nth(0) == p.first
+        assert p.nth(255) == p.last
+        with pytest.raises(IndexError):
+            p.nth(256)
+
+    def test_subprefixes(self):
+        p = Prefix.parse("10.0.0.0/22")
+        subs = list(p.subprefixes(24))
+        assert len(subs) == 4
+        assert all(p.contains_prefix(s) for s in subs)
+
+    def test_contains_prefix_rejects_shorter(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_prefix_of_contains_address(self, addr, length):
+        assert addr in prefix_of(addr, length)
+
+    @given(addresses)
+    def test_slash_helpers_consistent(self, addr):
+        assert slash8(addr) == addr >> 24
+        assert slash16(addr) == addr >> 16
+        assert slash24(addr) == addr >> 8
+        assert prefix_of(addr, 24).network == slash24(addr) << 8
+
+    def test_str_renders_cidr(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"

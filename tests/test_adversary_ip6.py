@@ -1,0 +1,133 @@
+"""Tests for the § III-F/§ VII countermeasure models and ip6.arpa names."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.adversary import qmin_experiment, spreading_experiment
+from repro.dnssim.resolver import RecursiveResolver, ResolverConfig
+from repro.netmodel.addressing import (
+    MAX_IPV6,
+    ip6_to_reverse_name,
+    reverse_name_to_ip6,
+)
+
+
+class TestIp6ReverseNames:
+    def test_known_value(self):
+        name = ip6_to_reverse_name(0x20010DB8_00000000_00000000_00000001)
+        assert name.endswith(".8.b.d.0.1.0.0.2.ip6.arpa")
+        assert name.startswith("1.0.0.0.")
+        assert name.count(".") == 33  # 32 nibbles + ip6 + arpa
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_roundtrip(self, addr):
+        assert reverse_name_to_ip6(ip6_to_reverse_name(addr)) == addr
+
+    def test_case_and_dot_tolerant(self):
+        name = ip6_to_reverse_name(1).upper() + "."
+        assert reverse_name_to_ip6(name) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "example.com",
+            "4.3.2.1.in-addr.arpa",
+            "1.2.ip6.arpa",               # too short
+            "x" + ".0" * 31 + ".ip6.arpa",  # bad nibble
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            reverse_name_to_ip6(bad)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip6_to_reverse_name(MAX_IPV6 + 1)
+        with pytest.raises(ValueError):
+            ip6_to_reverse_name(-1)
+
+
+class TestQnameMinimizationFlag:
+    def test_fraction_zero_never_minimizes(self):
+        config = ResolverConfig(qname_minimization_fraction=0.0)
+        resolvers = [
+            RecursiveResolver(addr=i, shared=False, region="na",
+                              preferred_root="b", config=config)
+            for i in range(50)
+        ]
+        assert not any(r.minimizes for r in resolvers)
+
+    def test_fraction_one_always_minimizes(self):
+        config = ResolverConfig(qname_minimization_fraction=1.0)
+        resolver = RecursiveResolver(
+            addr=1, shared=False, region="na", preferred_root="b", config=config
+        )
+        assert resolver.minimizes
+
+    def test_fraction_half_mixes(self):
+        config = ResolverConfig(qname_minimization_fraction=0.5)
+        flags = [
+            RecursiveResolver(addr=i, shared=False, region="na",
+                              preferred_root="b", config=config).minimizes
+            for i in range(100)
+        ]
+        assert 20 < sum(flags) < 80
+
+
+class TestAdversaryExperiments:
+    def test_spreading_trends(self, small_world):
+        trials = spreading_experiment(
+            small_world, splits=(1, 8), total_audience=400,
+            duration_days=1.0, threshold=20, seed=3,
+        )
+        concentrated, spread = trials
+        assert concentrated.n_originators == 1
+        assert concentrated.detected == 1
+        assert spread.largest_footprint < concentrated.largest_footprint
+
+    def test_qmin_signal_erosion(self, small_world):
+        trials = qmin_experiment(
+            small_world, fractions=(0.0, 0.9), n_campaigns=3,
+            duration_days=1.0, seed=3,
+        )
+        clean, deployed = trials
+        assert clean.minimized_queries == 0
+        assert deployed.minimized_queries > 0
+        assert deployed.signal_fraction < clean.signal_fraction
+
+
+class TestQminAccounting:
+    def test_minimized_plus_attributable_cover_all_queries(self, small_world, rng):
+        """At a national sensor, every delegation query from a covered
+        originator is either attributable (logged) or minimized (counted):
+        the sensor never silently loses queries."""
+        from repro.activity import SimulationEngine, build_campaign
+        from repro.dnssim import Authority, AuthorityLevel, DnsHierarchy, ResolverConfig
+
+        config = ResolverConfig(
+            national_warm_shared=0.0,
+            national_warm_self=0.0,
+            qname_minimization_fraction=0.5,
+        )
+        hierarchy = DnsHierarchy(small_world, seed=21, resolver_config=config)
+        sensor = hierarchy.attach_national(
+            Authority(
+                name="jp", level=AuthorityLevel.NATIONAL, country="jp",
+                scope_slash8=frozenset(small_world.geo.blocks_of("jp")),
+            )
+        )
+        engine = SimulationEngine(small_world, hierarchy)
+        campaign = build_campaign(
+            small_world, "spam", rng, start=0.0, duration_days=1.0,
+            home_country="jp", audience_size=200,
+        )
+        engine.add(campaign)
+        engine.run(0.0, 86400.0)
+        total_national = hierarchy.stats.national_queries
+        assert total_national > 0
+        assert sensor.seen_reverse + sensor.seen_minimized == total_national
+        assert sensor.seen_minimized > 0
+        assert sensor.seen_reverse > 0

@@ -1,0 +1,91 @@
+"""Tests for surge alerting on class-count series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.alerts import Alert, SurgeDetector, detect_surges
+
+
+def series_of(counts: list[int], app_class: str = "scan"):
+    return [(float(i * 7), {app_class: c}, c) for i, c in enumerate(counts)]
+
+
+class TestSurgeDetector:
+    def test_flat_series_never_alerts(self):
+        detector = SurgeDetector("scan")
+        for day, count in enumerate([100] * 20):
+            assert detector.update(float(day), count) is None
+
+    def test_clear_surge_alerts(self):
+        detector = SurgeDetector("scan")
+        for day in range(8):
+            assert detector.update(float(day), 100) is None
+        alert = detector.update(8.0, 200)
+        assert alert is not None
+        assert alert.observed == 200
+        assert alert.baseline == pytest.approx(100.0)
+        assert alert.score > 3.0
+
+    def test_no_alert_before_min_baseline(self):
+        detector = SurgeDetector("scan", min_baseline=4)
+        assert detector.update(0.0, 10) is None
+        assert detector.update(1.0, 10) is None
+        assert detector.update(2.0, 1000) is None  # only 2 baseline samples
+
+    def test_surge_not_absorbed_into_baseline(self):
+        detector = SurgeDetector("scan")
+        for day in range(8):
+            detector.update(float(day), 100)
+        first = detector.update(8.0, 250)
+        second = detector.update(9.0, 250)
+        assert first is not None
+        assert second is not None  # baseline still ~100, so still surging
+
+    def test_small_relative_bumps_suppressed(self):
+        # Noise-free baseline -> tiny MAD; the relative guard must hold.
+        detector = SurgeDetector("scan", min_relative=0.25)
+        for day in range(8):
+            detector.update(float(day), 100)
+        assert detector.update(8.0, 110) is None
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            SurgeDetector("scan", window=1)
+        with pytest.raises(ValueError):
+            SurgeDetector("scan", threshold=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=50, max_value=60), min_size=10, max_size=40))
+    def test_bounded_noise_rarely_alerts(self, counts):
+        detector = SurgeDetector("scan", threshold=6.0, min_relative=0.5)
+        alerts = [
+            detector.update(float(i), c)
+            for i, c in enumerate(counts)
+        ]
+        assert all(a is None for a in alerts)
+
+
+class TestDetectSurges:
+    def test_heartbleed_shape(self):
+        # Steady background, one event bump, decay back: exactly Fig 11.
+        counts = [100, 104, 98, 101, 99, 103, 180, 170, 120, 100, 101]
+        alerts = detect_surges(series_of(counts), window=6, threshold=3.0)
+        assert alerts, "the surge was missed"
+        assert alerts[0].day == 6 * 7.0
+        assert alerts[0].app_class == "scan"
+
+    def test_untrained_windows_skipped(self):
+        series = [(0.0, {}, 0), (7.0, {}, 0)] + series_of([100] * 6)[2:]
+        alerts = detect_surges(series)
+        assert alerts == []
+
+    def test_other_classes_ignored(self):
+        series = [
+            (float(i * 7), {"scan": 100, "spam": 100 + 50 * (i == 8)}, 200)
+            for i in range(10)
+        ]
+        assert detect_surges(series, app_class="scan") == []

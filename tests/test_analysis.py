@@ -1,0 +1,236 @@
+"""Tests for the analysis package: footprints, consistency, teams, trends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.consistency import (
+    consistency_ratios,
+    majority_fraction,
+    ratio_cdf,
+)
+from repro.analysis.controlled import fit_power_law, run_trial
+from repro.analysis.footprint import ccdf, class_counts, class_mix_of_top, footprint_sizes
+from repro.analysis.longitudinal import AnalysisWindow, WindowedAnalysis
+from repro.analysis.teams import block_scan_series, find_teams
+from repro.analysis.trends import churn_series, class_count_series, reappearance_series
+from repro.netmodel.addressing import slash24
+from repro.sensor.collection import ObservationWindow, OriginatorObservation
+from repro.sensor.curation import LabeledSet
+from repro.sensor.dynamic import WindowContext
+from repro.sensor.features import FEATURE_NAMES, FeatureSet
+
+
+def observation(originator: int, n_queriers: int) -> OriginatorObservation:
+    obs = OriginatorObservation(originator=originator)
+    for i in range(n_queriers):
+        obs.add(float(i) * 40, 10_000 + i)
+    return obs
+
+
+def make_window(index: int, sizes: dict[int, int], classes: dict[int, str]) -> AnalysisWindow:
+    observations = ObservationWindow(start=index * 86400.0, end=(index + 1) * 86400.0)
+    for originator, size in sizes.items():
+        observations.observations[originator] = observation(originator, size)
+    originators = np.array(sorted(sizes), dtype=np.int64)
+    features = FeatureSet(
+        originators=originators,
+        matrix=np.zeros((len(sizes), len(FEATURE_NAMES))),
+        context=WindowContext(
+            start=observations.start, end=observations.end,
+            total_ases=10, total_countries=5, total_queriers=100,
+        ),
+        footprints=np.array([sizes[o] for o in originators], dtype=np.int64),
+    )
+    return AnalysisWindow(
+        index=index,
+        start_day=float(index),
+        end_day=float(index + 1),
+        observations=observations,
+        features=features,
+        classification=dict(classes),
+    )
+
+
+def make_analysis(windows: list[AnalysisWindow]) -> WindowedAnalysis:
+    return WindowedAnalysis(dataset=None, window_days=1.0, windows=windows)
+
+
+class TestFootprint:
+    def test_sizes_descending(self):
+        window = ObservationWindow(start=0.0, end=1.0)
+        for originator, size in ((1, 5), (2, 50), (3, 20)):
+            window.observations[originator] = observation(originator, size)
+        sizes = footprint_sizes(window)
+        assert list(sizes) == [50, 20, 5]
+
+    def test_min_queriers_filter(self):
+        window = ObservationWindow(start=0.0, end=1.0)
+        window.observations[1] = observation(1, 5)
+        assert len(footprint_sizes(window, min_queriers=10)) == 0
+
+    def test_ccdf_properties(self):
+        x, survival = ccdf(np.array([1, 1, 2, 10]))
+        assert survival[0] == 1.0
+        assert (np.diff(survival) <= 0).all()
+        assert x[-1] == 10
+
+    def test_ccdf_empty(self):
+        x, survival = ccdf(np.array([]))
+        assert len(x) == 0 and len(survival) == 0
+
+    def test_class_mix(self):
+        window = ObservationWindow(start=0.0, end=1.0)
+        for originator, size in ((1, 100), (2, 90), (3, 80), (4, 25)):
+            window.observations[originator] = observation(originator, size)
+        classification = {1: "spam", 2: "spam", 3: "scan"}
+        mix = class_mix_of_top(window, classification, n=3)
+        assert mix.fraction("spam") == pytest.approx(2 / 3)
+        assert mix.fraction("scan") == pytest.approx(1 / 3)
+        wider = class_mix_of_top(window, classification, n=10)
+        assert wider.fractions.get("other") == pytest.approx(1 / 4)
+
+    def test_class_counts(self):
+        assert class_counts({1: "a", 2: "a", 3: "b"}) == {"a": 2, "b": 1}
+
+
+class TestConsistency:
+    def test_stable_originator_r_one(self):
+        windows = [
+            make_window(i, {1: 30}, {1: "scan"}) for i in range(6)
+        ]
+        records = consistency_ratios(make_analysis(windows))
+        assert len(records) == 1
+        assert records[0].r == 1.0
+        assert records[0].preferred_class == "scan"
+
+    def test_flapping_originator_low_r(self):
+        classes = ["scan", "spam", "scan", "spam", "scan", "spam"]
+        windows = [
+            make_window(i, {1: 30}, {1: classes[i]}) for i in range(6)
+        ]
+        records = consistency_ratios(make_analysis(windows))
+        assert records[0].r == pytest.approx(0.5)
+
+    def test_min_appearances_filter(self):
+        windows = [make_window(i, {1: 30}, {1: "scan"}) for i in range(3)]
+        assert consistency_ratios(make_analysis(windows), min_appearances=4) == []
+
+    def test_footprint_threshold(self):
+        windows = [make_window(i, {1: 30}, {1: "scan"}) for i in range(6)]
+        assert consistency_ratios(make_analysis(windows), min_queriers=50) == []
+
+    def test_cdf_and_majority(self):
+        windows = [make_window(i, {1: 30, 2: 30}, {1: "scan", 2: "scan" if i < 5 else "spam"}) for i in range(6)]
+        records = consistency_ratios(make_analysis(windows))
+        values, cumulative = ratio_cdf(records)
+        assert cumulative[-1] == 1.0
+        assert majority_fraction(records) == 1.0
+
+
+class TestTeams:
+    def test_find_teams(self):
+        block = 0x0A0A0A
+        members = {(block << 8) | i: "scan" for i in range(1, 6)}
+        lonely = {0x14141401: "scan"}
+        other = {0x1E1E1E01: "spam"}
+        sizes = {o: 30 for o in {**members, **lonely, **other}}
+        windows = [make_window(0, sizes, {**members, **lonely, **other})]
+        summary, teams = find_teams(make_analysis(windows))
+        assert summary.blocks_with_4plus == 1
+        assert summary.single_class_teams == 1
+        assert block in teams and len(teams[block]) == 5
+
+    def test_mixed_class_block_not_single(self):
+        block = 0x0A0A0A
+        classes = {(block << 8) | i: "scan" for i in range(1, 6)}
+        classes[(block << 8) | 99] = "spam"
+        sizes = {o: 30 for o in classes}
+        windows = [make_window(0, sizes, classes)]
+        summary, _teams = find_teams(make_analysis(windows))
+        assert summary.single_class_teams == 0
+        assert summary.multi_class_blocks == 1
+
+    def test_block_series(self):
+        block = 0x0A0A0A
+        w0 = make_window(0, {(block << 8) | 1: 30}, {(block << 8) | 1: "scan"})
+        w1 = make_window(
+            1,
+            {(block << 8) | 1: 30, (block << 8) | 2: 30},
+            {(block << 8) | 1: "scan", (block << 8) | 2: "scan"},
+        )
+        series = block_scan_series(make_analysis([w0, w1]), [block])
+        assert [count for _, count in series[block]] == [1, 2]
+
+
+class TestTrends:
+    def test_class_count_series(self):
+        windows = [
+            make_window(0, {1: 30, 2: 30}, {1: "scan", 2: "spam"}),
+            make_window(1, {1: 30}, {1: "scan"}),
+        ]
+        series = class_count_series(make_analysis(windows))
+        assert series[0][1] == {"scan": 1, "spam": 1}
+        assert series[1][2] == 1
+
+    def test_churn_series(self):
+        windows = [
+            make_window(0, {1: 30, 2: 30}, {1: "scan", 2: "scan"}),
+            make_window(1, {2: 30, 3: 30}, {2: "scan", 3: "scan"}),
+        ]
+        points = churn_series(make_analysis(windows))
+        assert points[-1].new == 1
+        assert points[-1].continuing == 1
+        assert points[-1].departing == 1
+
+    def test_reappearance_series(self):
+        labeled = LabeledSet.from_pairs([(1, "spam"), (2, "cdn")])
+        windows = [
+            make_window(0, {1: 30, 2: 30}, {}),
+            make_window(1, {2: 30}, {}),
+        ]
+        analysis = make_analysis(windows)
+        malicious = reappearance_series(analysis, labeled, "malicious")
+        benign = reappearance_series(analysis, labeled, "benign")
+        assert [c for _, c in malicious] == [1, 0]
+        assert [c for _, c in benign] == [1, 1]
+
+    def test_reappearance_single_class(self):
+        labeled = LabeledSet.from_pairs([(1, "spam")])
+        windows = [make_window(0, {1: 30}, {})]
+        series = reappearance_series(make_analysis(windows), labeled, "spam")
+        assert series == [(0.5, 1)]
+
+
+class TestControlled:
+    def test_trial_monotone_in_fraction(self, small_world):
+        small = run_trial(small_world, 1e-5, seed=1)
+        large = run_trial(small_world, 1e-2, seed=1)
+        assert large.final_queriers > small.final_queriers
+        assert large.targets > small.targets
+
+    def test_roots_attenuated(self, small_world):
+        trial = run_trial(small_world, 1e-2, seed=2)
+        assert trial.b_root_queriers < trial.final_queriers / 10
+        assert trial.m_root_queriers < trial.final_queriers / 10
+
+    def test_fraction_validation(self, small_world):
+        with pytest.raises(ValueError):
+            run_trial(small_world, 0.0)
+        with pytest.raises(ValueError):
+            run_trial(small_world, 1.5)
+
+    def test_power_law_fit(self):
+        from repro.analysis.controlled import ControlledTrial
+
+        trials = [
+            ControlledTrial(10**-k, 10**(8 - k), 0, int(10 ** ((8 - k) * 0.7)), 0, 0)
+            for k in range(1, 5)
+        ]
+        power, _ = fit_power_law(trials)
+        assert power == pytest.approx(0.7, abs=0.01)
+
+    def test_power_law_needs_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([])

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface (generate / classify round trip)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "JP-ditl"])
+        assert args.dataset == "JP-ditl"
+        assert args.preset == "default"
+
+    def test_classify_requires_inputs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify"])
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    output = tmp_path_factory.mktemp("cli")
+    code = main(["generate", "B-post-ditl", "--preset", "tiny", "-o", str(output)])
+    assert code == 0
+    return output
+
+
+class TestGenerate:
+    def test_files_written(self, generated):
+        names = {path.name for path in generated.iterdir()}
+        assert names == {
+            "B-post-ditl.log",
+            "B-post-ditl.rbsc",
+            "B-post-ditl.queriers.jsonl",
+            "B-post-ditl.labels.json",
+        }
+
+    def test_text_and_binary_logs_agree(self, generated):
+        from repro.datasets import read_log
+        from repro.datasets.dnstap import read_frames
+
+        text = read_log(generated / "B-post-ditl.log")
+        binary = read_frames(generated / "B-post-ditl.rbsc")
+        assert len(text) == len(binary)
+        assert all(
+            abs(a.timestamp - b.timestamp) < 1e-2
+            and a.querier == b.querier
+            and a.originator == b.originator
+            for a, b in zip(text, binary)
+        )
+
+    def test_labels_valid_classes(self, generated):
+        from repro.activity import APPLICATION_CLASSES
+
+        labels = json.loads((generated / "B-post-ditl.labels.json").read_text())
+        assert labels
+        assert set(labels.values()) <= set(APPLICATION_CLASSES)
+
+
+class TestClassify:
+    def test_roundtrip(self, generated, capsys):
+        code = main([
+            "classify",
+            "-l", str(generated / "B-post-ditl.log"),
+            "-d", str(generated / "B-post-ditl.queriers.jsonl"),
+            "-t", str(generated / "B-post-ditl.labels.json"),
+            "--min-queriers", "5",
+            "--top", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analyzable" in out
+        assert "originator" in out
+
+    def test_empty_log_fails_cleanly(self, tmp_path, generated):
+        empty = tmp_path / "empty.log"
+        empty.write_text("")
+        code = main([
+            "classify",
+            "-l", str(empty),
+            "-d", str(generated / "B-post-ditl.queriers.jsonl"),
+            "-t", str(generated / "B-post-ditl.labels.json"),
+        ])
+        assert code == 1
+
+
+class TestFigures:
+    def test_experiments_passthrough_list(self, capsys):
+        code = main(["experiments", "--list"])
+        assert code == 0
+        assert "table3" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Smoke tests for the confusion experiment on the tiny preset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import confusion
+
+
+@pytest.fixture(scope="module")
+def result():
+    return confusion.run(dataset="JP-ditl", repeats=4, preset="tiny")
+
+
+class TestConfusionRun:
+    def test_matrix_shape_and_counts(self, result):
+        n = len(result.classes)
+        assert result.matrix.shape == (n, n)
+        assert result.matrix.sum() > 0
+
+    def test_per_class_records_complete(self, result):
+        assert {r.app_class for r in result.per_class} == set(result.classes)
+        for record in result.per_class:
+            assert 0.0 <= record.recall <= 1.0
+            assert 0.0 <= record.top_confusion_fraction <= 1.0
+
+    def test_recall_matches_matrix(self, result):
+        for i, name in enumerate(result.classes):
+            row = result.matrix[i]
+            if row.sum():
+                assert result.recall_of(name) == pytest.approx(row[i] / row.sum())
+
+    def test_confusion_lookup(self, result):
+        a, b = result.classes[0], result.classes[-1]
+        value = result.confusion(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_class_raises(self, result):
+        with pytest.raises(KeyError):
+            result.recall_of("bogus")
+
+    def test_format_table(self, result):
+        text = confusion.format_table(result)
+        assert "most confused with" in text
+        for name in result.classes[:3]:
+            assert name in text

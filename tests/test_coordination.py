@@ -1,0 +1,99 @@
+"""Tests for team co-activity scoring on synthetic window classifications."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coordination import (
+    TeamCoactivity,
+    coactivity_baseline,
+    team_coactivity,
+)
+from repro.analysis.longitudinal import AnalysisWindow, WindowedAnalysis
+from repro.sensor.collection import ObservationWindow
+from repro.sensor.dynamic import WindowContext
+from repro.sensor.features import FEATURE_NAMES, FeatureSet
+
+TEAM_BLOCK = 0x0A0A0A
+
+
+def window_with_classes(index: int, classes: dict[int, str]) -> AnalysisWindow:
+    return AnalysisWindow(
+        index=index,
+        start_day=float(index * 7),
+        end_day=float((index + 1) * 7),
+        observations=ObservationWindow(start=0.0, end=1.0),
+        features=FeatureSet(
+            originators=np.array(sorted(classes), dtype=np.int64),
+            matrix=np.zeros((len(classes), len(FEATURE_NAMES))),
+            context=WindowContext(0, 1, 1, 1, 1),
+            footprints=np.full(len(classes), 30, dtype=np.int64),
+        ),
+        classification=dict(classes),
+    )
+
+
+def build_analysis(synchronized: bool) -> WindowedAnalysis:
+    """A 10-window world: one 4-member team + 8 lone scanners.
+
+    With ``synchronized``, team members are active in the same 5 windows;
+    otherwise each member picks its own disjoint-ish slice.
+    """
+    team = [(TEAM_BLOCK << 8) | i for i in range(1, 5)]
+    loners = [(0x140000 + i) << 8 | 1 for i in range(8)]
+    rng = np.random.default_rng(3)
+    windows = []
+    for w in range(10):
+        classes: dict[int, str] = {}
+        for k, member in enumerate(team):
+            if synchronized:
+                active = w < 5
+            else:
+                active = (w + 2 * k) % 8 < 2
+            if active:
+                classes[member] = "scan"
+        for k, loner in enumerate(loners):
+            if rng.random() < 0.4:
+                classes[loner] = "scan"
+        windows.append(window_with_classes(w, classes))
+    return WindowedAnalysis(dataset=None, window_days=7.0, windows=windows)
+
+
+class TestCoactivity:
+    def test_synchronized_team_scores_high(self):
+        analysis = build_analysis(synchronized=True)
+        teams = team_coactivity(analysis)
+        assert len(teams) == 1
+        team = teams[0]
+        assert team.block == TEAM_BLOCK
+        assert team.members == 4
+        assert team.coactivity == pytest.approx(1.0)
+        assert team.lift > 1.5
+
+    def test_unsynchronized_members_score_low(self):
+        analysis = build_analysis(synchronized=False)
+        teams = team_coactivity(analysis)
+        assert teams[0].coactivity < 0.35
+
+    def test_baseline_between_zero_and_one(self):
+        analysis = build_analysis(synchronized=True)
+        baseline = coactivity_baseline(analysis)
+        assert 0.0 <= baseline <= 1.0
+
+    def test_no_teams_when_below_size(self):
+        analysis = build_analysis(synchronized=True)
+        assert team_coactivity(analysis, team_size=10) == []
+
+    def test_lift_edge_cases(self):
+        infinite = TeamCoactivity(block=1, members=4, coactivity=0.5, baseline=0.0)
+        assert math.isinf(infinite.lift)
+        undefined = TeamCoactivity(block=1, members=4, coactivity=0.0, baseline=0.0)
+        assert math.isnan(undefined.lift)
+
+    def test_empty_analysis(self):
+        analysis = WindowedAnalysis(dataset=None, window_days=7.0, windows=[])
+        assert team_coactivity(analysis) == []
+        assert math.isnan(coactivity_baseline(analysis))

@@ -1,0 +1,163 @@
+"""Tests for dataset specs, generation, and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    generate_dataset,
+    read_directory,
+    read_log,
+    spec_for,
+    write_directory,
+    write_log,
+)
+from repro.dnssim.message import QueryLogEntry
+from repro.netmodel.world import NameStatus
+from repro.sensor.directory import QuerierInfo
+
+
+class TestSpecs:
+    def test_paper_datasets_present(self):
+        expected = {
+            "JP-ditl", "B-post-ditl", "M-ditl", "M-ditl-2015",
+            "M-sampled", "B-long", "B-multi-year",
+        }
+        assert set(DATASET_SPECS) == expected
+
+    def test_durations_match_paper(self):
+        assert DATASET_SPECS["JP-ditl"].duration_days == pytest.approx(50 / 24)
+        assert DATASET_SPECS["B-post-ditl"].duration_days == pytest.approx(36 / 24)
+        assert DATASET_SPECS["M-sampled"].duration_days == 270.0
+
+    def test_sampling_only_on_m_sampled(self):
+        for name, spec in DATASET_SPECS.items():
+            if name == "M-sampled":
+                assert spec.vantage.sampling == 10
+            else:
+                assert spec.vantage.sampling == 1
+
+    def test_jp_scenario_forced_home(self):
+        assert DATASET_SPECS["JP-ditl"].scenario.force_home_country == "jp"
+        assert DATASET_SPECS["M-ditl"].scenario.force_home_country is None
+
+    def test_heartbleed_only_in_m_sampled(self):
+        assert DATASET_SPECS["M-sampled"].scenario.heartbleed_day is not None
+        assert DATASET_SPECS["JP-ditl"].scenario.heartbleed_day is None
+
+    def test_tiny_preset_shrinks(self):
+        full = spec_for("M-sampled")
+        tiny = spec_for("M-sampled", "tiny")
+        assert tiny.duration_days < full.duration_days
+        assert tiny.world_scale <= full.world_scale
+        assert sum(tiny.scenario.initial_actors.values()) < sum(
+            full.scenario.initial_actors.values()
+        )
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ValueError):
+            spec_for("nope")
+        with pytest.raises(ValueError):
+            spec_for("JP-ditl", preset="huge")
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def tiny_jp(self):
+        return generate_dataset(spec_for("JP-ditl", "tiny"))
+
+    def test_sensor_sees_traffic(self, tiny_jp):
+        assert len(tiny_jp.sensor.log) > 100
+
+    def test_sensor_scope_respected(self, tiny_jp):
+        jp_blocks = set(tiny_jp.world.geo.blocks_of("jp"))
+        for entry in tiny_jp.sensor.log:
+            assert (entry.originator >> 24) in jp_blocks
+
+    def test_true_classes_cover_campaigns(self, tiny_jp):
+        truth = tiny_jp.true_classes()
+        for campaign in tiny_jp.scenario.campaigns:
+            assert campaign.originator in truth
+
+    def test_sources_bundle(self, tiny_jp):
+        sources = tiny_jp.sources()
+        assert sources.actors_by_ip
+        some = next(iter(sources.actors_by_ip))
+        assert sources.true_class(some) is not None
+
+    def test_log_chronological(self, tiny_jp):
+        times = [e.timestamp for e in tiny_jp.sensor.log]
+        assert times == sorted(times)
+
+    def test_regeneration_identical(self):
+        one = generate_dataset(spec_for("B-post-ditl", "tiny"))
+        two = generate_dataset(spec_for("B-post-ditl", "tiny"))
+        assert len(one.sensor.log) == len(two.sensor.log)
+        first = [(e.timestamp, e.querier, e.originator) for e in one.sensor.log]
+        second = [(e.timestamp, e.querier, e.originator) for e in two.sensor.log]
+        assert first == second
+
+
+class TestIo:
+    def test_log_roundtrip(self, tmp_path):
+        entries = [
+            QueryLogEntry(timestamp=1.5, querier=0x01020304, originator=0x05060708),
+            QueryLogEntry(timestamp=2.25, querier=0xDEADBEEF, originator=0x0A0B0C0D),
+        ]
+        path = tmp_path / "log.txt"
+        assert write_log(path, entries) == 2
+        loaded = read_log(path)
+        assert loaded == entries
+
+    def test_log_skips_comments(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text("# header\n\n1.0 1.2.3.4 8.7.6.5.in-addr.arpa\n")
+        loaded = read_log(path)
+        assert len(loaded) == 1
+        assert loaded[0].originator == 0x05060708
+
+    def test_log_rejects_malformed(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text("1.0 1.2.3.4\n")
+        with pytest.raises(ValueError):
+            read_log(path)
+
+    def test_directory_roundtrip(self, tmp_path):
+        infos = [
+            QuerierInfo(addr=1, name="mail.x.com", status=NameStatus.OK, asn=5, country="us"),
+            QuerierInfo(addr=2, name=None, status=NameStatus.NXDOMAIN, asn=None, country=None),
+        ]
+        path = tmp_path / "dir.jsonl"
+        assert write_directory(path, infos) == 2
+        directory = read_directory(path)
+        assert directory.lookup(1) == infos[0]
+        assert directory.lookup(2) == infos[1]
+
+    def test_directory_unknown_addr_defaults(self, tmp_path):
+        path = tmp_path / "dir.jsonl"
+        write_directory(path, [])
+        directory = read_directory(path)
+        info = directory.lookup(42)
+        assert info.status is NameStatus.NXDOMAIN and info.name is None
+
+    def test_directory_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "dir.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError):
+            read_directory(path)
+
+    def test_full_dataset_roundtrip(self, tmp_path):
+        dataset = generate_dataset(spec_for("B-post-ditl", "tiny"))
+        log_path = tmp_path / "b.log"
+        write_log(log_path, dataset.sensor.log)
+        loaded = read_log(log_path)
+        assert len(loaded) == len(dataset.sensor.log)
+        directory_path = tmp_path / "b.dir"
+        world_directory = dataset.directory()
+        infos = [world_directory.lookup(q.addr) for q in dataset.world.queriers[:200]]
+        write_directory(directory_path, infos)
+        loaded_directory = read_directory(directory_path)
+        for info in infos:
+            assert loaded_directory.lookup(info.addr) == info

@@ -1,0 +1,129 @@
+"""Tests for the TTL cache, the attenuation workhorse of the simulator."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnssim.cache import TtlCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache: TtlCache[str, int] = TtlCache()
+        assert cache.get("k", 0.0) is None
+        cache.put("k", 1, ttl=10.0, now=0.0)
+        assert cache.get("k", 5.0) == 1
+
+    def test_expiry_is_strict(self):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=10.0, now=0.0)
+        assert cache.get("k", 9.999) == 1
+        assert cache.get("k", 10.0) is None
+
+    def test_zero_ttl_never_cached(self):
+        # The § IV-D controlled experiment sets PTR TTL to zero so the
+        # final authority sees every query; the cache must honor that.
+        cache: TtlCache[str, int] = TtlCache(min_ttl=60.0)
+        assert cache.put("k", 1, ttl=0.0, now=0.0) is False
+        assert cache.get("k", 0.0) is None
+
+    def test_min_ttl_clamps_small_positive(self):
+        cache: TtlCache[str, int] = TtlCache(min_ttl=60.0)
+        cache.put("k", 1, ttl=1.0, now=0.0)
+        assert cache.get("k", 30.0) == 1  # held past the original 1s
+
+    def test_overwrite_extends(self):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=5.0, now=0.0)
+        cache.put("k", 2, ttl=5.0, now=4.0)
+        assert cache.get("k", 8.0) == 2
+
+    def test_peek_does_not_count(self):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=5.0, now=0.0)
+        cache.peek("k", 1.0)
+        cache.peek("missing", 1.0)
+        assert cache.stats.lookups == 0
+
+    def test_flush_keeps_counters(self):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=5.0, now=0.0)
+        cache.get("k", 1.0)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_purge_expired(self):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("a", 1, ttl=1.0, now=0.0)
+        cache.put("b", 2, ttl=100.0, now=0.0)
+        assert cache.purge_expired(now=50.0) == 1
+        assert "b" in cache and "a" not in cache
+
+
+class TestEviction:
+    def test_capacity_bound_respected(self):
+        cache: TtlCache[int, int] = TtlCache(max_entries=4)
+        for i in range(10):
+            cache.put(i, i, ttl=100.0, now=float(i))
+        assert len(cache) <= 4
+
+    def test_evicts_earliest_expiring(self):
+        cache: TtlCache[str, int] = TtlCache(max_entries=2)
+        cache.put("short", 1, ttl=5.0, now=0.0)
+        cache.put("long", 2, ttl=500.0, now=0.0)
+        cache.put("new", 3, ttl=50.0, now=1.0)
+        assert "long" in cache and "new" in cache and "short" not in cache
+
+    def test_existing_key_update_does_not_evict(self):
+        cache: TtlCache[str, int] = TtlCache(max_entries=2)
+        cache.put("a", 1, ttl=10.0, now=0.0)
+        cache.put("b", 2, ttl=10.0, now=0.0)
+        cache.put("a", 3, ttl=10.0, now=1.0)
+        assert "a" in cache and "b" in cache
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["get", "put"]),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    def test_hits_plus_misses_equals_lookups(self, ops):
+        cache: TtlCache[int, int] = TtlCache()
+        now = 0.0
+        gets = 0
+        for op, key, dt in sorted(ops, key=lambda t: t[2]):
+            now = dt
+            if op == "get":
+                cache.get(key, now)
+                gets += 1
+            else:
+                cache.put(key, key, ttl=10.0, now=now)
+        assert cache.stats.lookups == gets
+        assert cache.stats.hits + cache.stats.misses == gets
+
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    def test_entry_always_readable_immediately(self, ttl):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=ttl, now=0.0)
+        assert cache.get("k", 0.0) == 1
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=2000.0),
+    )
+    def test_never_serves_expired(self, ttl, probe):
+        cache: TtlCache[str, int] = TtlCache()
+        cache.put("k", 1, ttl=ttl, now=0.0)
+        value = cache.get("k", probe)
+        if probe >= ttl:
+            assert value is None
+        else:
+            assert value == 1

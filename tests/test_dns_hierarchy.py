@@ -1,0 +1,260 @@
+"""Tests for zones, resolvers, authorities, and hierarchy routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnssim import (
+    Authority,
+    AuthorityLevel,
+    DnsHierarchy,
+    PtrRecordSpec,
+    RCode,
+    ResolverConfig,
+    ReverseZoneDb,
+)
+from repro.netmodel import QuerierRole
+
+
+class TestReverseZoneDb:
+    def test_unregistered_is_nxdomain(self):
+        db = ReverseZoneDb()
+        response = db.resolve(0x01020304)
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.name is None
+
+    def test_registered_name(self):
+        db = ReverseZoneDb()
+        db.register(0x01020304, PtrRecordSpec(ttl=60.0, name="spam.bad.jp"))
+        response = db.resolve(0x01020304)
+        assert response.ok and response.name == "spam.bad.jp"
+        assert response.ttl == 60.0
+
+    def test_unreachable_is_servfail(self):
+        db = ReverseZoneDb()
+        db.register(5, PtrRecordSpec(reachable=False))
+        assert db.resolve(5).rcode is RCode.SERVFAIL
+
+    def test_no_name_is_nxdomain_with_negative_ttl(self):
+        db = ReverseZoneDb()
+        db.register(5, PtrRecordSpec(has_name=False, negative_ttl=120.0))
+        response = db.resolve(5)
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.ttl == 120.0
+
+    def test_default_name_synthesized(self):
+        db = ReverseZoneDb()
+        db.register(0x01020304, PtrRecordSpec(ttl=60.0))
+        assert "1-2-3-4" in db.resolve(0x01020304).name
+
+
+class TestAuthority:
+    def test_sampling_logs_every_nth(self):
+        authority = Authority(name="m", level=AuthorityLevel.ROOT, root_letter="m", sampling=10)
+        for i in range(100):
+            authority.observe(float(i), querier=1, originator=2)
+        assert authority.seen_reverse == 100
+        assert len(authority.log) == 10
+
+    def test_scope_covers(self):
+        national = Authority(
+            name="jp",
+            level=AuthorityLevel.NATIONAL,
+            country="jp",
+            scope_slash8=frozenset({133}),
+        )
+        assert national.covers(133 << 24)
+        assert not national.covers(8 << 24)
+
+    def test_root_covers_everything(self):
+        root = Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b")
+        assert root.covers(0) and root.covers(0xFFFFFFFF)
+
+    def test_reset(self):
+        authority = Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b")
+        authority.observe(0.0, 1, 2)
+        authority.reset()
+        assert len(authority.log) == 0 and authority.seen_reverse == 0
+
+    def test_log_between(self):
+        authority = Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b")
+        for t in (0.0, 10.0, 20.0):
+            authority.observe(t, 1, 2)
+        assert len(authority.log.between(5.0, 20.0)) == 1
+
+
+def _one_querier(world, role=QuerierRole.MAIL):
+    index = world.indices_for_role(role)[0]
+    return world.queriers[index]
+
+
+class TestResolutionPath:
+    def test_ptr_cache_suppresses_repeat(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng)
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=3600.0))
+        querier = _one_querier(small_world)
+        hierarchy.resolve_ptr(querier, orig, now=0.0)
+        before = hierarchy.stats.final_queries
+        hierarchy.resolve_ptr(querier, orig, now=10.0)
+        assert hierarchy.stats.final_queries == before
+        assert hierarchy.stats.ptr_cache_hits == 1
+
+    def test_ttl_expiry_requeries(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng)
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=100.0))
+        querier = _one_querier(small_world)
+        hierarchy.resolve_ptr(querier, orig, now=0.0)
+        hierarchy.resolve_ptr(querier, orig, now=200.0)
+        assert hierarchy.stats.final_queries == 2
+
+    def test_zero_ttl_always_reaches_final(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng)
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=0.0))
+        final = hierarchy.attach_final(
+            frozenset({orig}),
+            Authority(name="final", level=AuthorityLevel.FINAL,
+                      scope_slash8=frozenset({orig >> 24})),
+        )
+        querier = _one_querier(small_world)
+        for t in range(5):
+            hierarchy.resolve_ptr(querier, orig, now=float(t))
+        assert len(final.log) == 5
+
+    def test_final_superset_of_root_and_national(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng, country="jp")
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=30.0))
+        final = hierarchy.attach_final(
+            frozenset({orig}),
+            Authority(name="final", level=AuthorityLevel.FINAL,
+                      scope_slash8=frozenset({orig >> 24})),
+        )
+        queriers = small_world.sample_queriers(
+            rng, 500, {QuerierRole.MAIL: 0.5, QuerierRole.NS: 0.25, QuerierRole.HOME: 0.25}
+        )
+        for i, querier in enumerate(queriers):
+            hierarchy.resolve_ptr(querier, orig, now=float(i))
+        final_queriers = {e.querier for e in final.log}
+        for sensor in hierarchy.all_sensors():
+            assert {e.querier for e in sensor.log} <= final_queriers
+
+    def test_attenuation_ordering(self, small_world, hierarchy, rng):
+        # final >= national >= roots: caching filters more higher up.
+        orig = small_world.allocate_originator(rng, country="jp")
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=30.0))
+        final = hierarchy.attach_final(
+            frozenset({orig}),
+            Authority(name="final", level=AuthorityLevel.FINAL,
+                      scope_slash8=frozenset({orig >> 24})),
+        )
+        queriers = small_world.sample_queriers(
+            rng, 800, {QuerierRole.NS: 0.4, QuerierRole.HOME: 0.6}
+        )
+        for i, querier in enumerate(queriers):
+            hierarchy.resolve_ptr(querier, orig, now=float(i))
+        national = hierarchy.nationals[0]
+        roots = sum(len(r.log) for r in hierarchy.roots.values())
+        assert len(final.log) > len(national.log) > roots
+
+    def test_national_sees_only_its_space(self, small_world, hierarchy, rng):
+        jp_orig = small_world.allocate_originator(rng, country="jp")
+        us_orig = small_world.allocate_originator(rng, country="us")
+        for orig in (jp_orig, us_orig):
+            hierarchy.register_originator(orig, PtrRecordSpec(ttl=30.0))
+        queriers = small_world.sample_queriers(rng, 300, {QuerierRole.HOME: 1.0})
+        for i, querier in enumerate(queriers):
+            hierarchy.resolve_ptr(querier, jp_orig, now=float(i))
+            hierarchy.resolve_ptr(querier, us_orig, now=float(i) + 0.5)
+        national = hierarchy.nationals[0]
+        assert len(national.log) > 0
+        assert all(e.originator == jp_orig for e in national.log)
+
+    def test_servfail_answer_propagates(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng)
+        hierarchy.register_originator(orig, PtrRecordSpec(reachable=False))
+        querier = _one_querier(small_world)
+        assert hierarchy.resolve_ptr(querier, orig, now=0.0).rcode is RCode.SERVFAIL
+
+    def test_resolver_identity_stable(self, small_world, hierarchy):
+        querier = _one_querier(small_world)
+        assert hierarchy.resolver_for(querier) is hierarchy.resolver_for(querier)
+
+    def test_deterministic_logs(self, small_world, rng):
+        def run(seed):
+            h = DnsHierarchy(small_world, seed=seed)
+            b = h.attach_root(
+                Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b")
+            )
+            local_rng = np.random.default_rng(3)
+            orig = 1 << 24 | 5  # fixed, does not touch world allocation state
+            h.register_originator(orig, PtrRecordSpec(ttl=30.0))
+            queriers = small_world.sample_queriers(
+                local_rng, 200, {QuerierRole.NS: 0.5, QuerierRole.HOME: 0.5}
+            )
+            for i, querier in enumerate(queriers):
+                h.resolve_ptr(querier, orig, now=float(i))
+            return [(e.timestamp, e.querier) for e in b.log]
+
+        assert run(11) == run(11)
+
+    def test_bad_sensor_attachment_rejected(self, small_world):
+        h = DnsHierarchy(small_world)
+        with pytest.raises(ValueError):
+            h.attach_root(Authority(name="x", level=AuthorityLevel.NATIONAL))
+        with pytest.raises(ValueError):
+            h.attach_national(Authority(name="x", level=AuthorityLevel.NATIONAL))
+        with pytest.raises(ValueError):
+            h.attach_final(frozenset(), Authority(name="x", level=AuthorityLevel.ROOT, root_letter="b"))
+
+
+class TestResolverWarmth:
+    def test_shared_resolvers_warmer_than_self(self, small_world):
+        config = ResolverConfig(root_warm_shared=1.0, root_warm_self=0.0)
+        h = DnsHierarchy(small_world, seed=5, resolver_config=config)
+        b = h.attach_root(Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b"))
+        m = h.attach_root(Authority(name="m", level=AuthorityLevel.ROOT, root_letter="m"))
+        orig = (1 << 24) | 9
+        h.register_originator(orig, PtrRecordSpec(ttl=0.0))
+        rng = np.random.default_rng(9)
+        shared = [
+            small_world.queriers[i]
+            for i in small_world.indices_for_role(QuerierRole.NS)[:100]
+        ]
+        selfish = [
+            small_world.queriers[i]
+            for i in small_world.indices_for_role(QuerierRole.MAIL)[:100]
+        ]
+        for i, querier in enumerate(shared):
+            h.resolve_ptr(querier, orig, now=float(i))
+        shared_root = h.stats.root_queries
+        for i, querier in enumerate(selfish):
+            h.resolve_ptr(querier, orig, now=float(i))
+        self_root = h.stats.root_queries - shared_root
+        assert shared_root == 0       # fully warm: never ask the root
+        assert self_root == len(selfish)  # fully cold: always ask
+
+
+class TestHierarchyStatsIdentities:
+    def test_lookups_split_into_hits_and_resolutions(self, small_world, hierarchy, rng):
+        orig = small_world.allocate_originator(rng, country="jp")
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=3600.0))
+        queriers = small_world.sample_queriers(rng, 100, {QuerierRole.MAIL: 1.0})
+        for i, querier in enumerate(queriers):
+            hierarchy.resolve_ptr(querier, orig, now=float(i))
+            hierarchy.resolve_ptr(querier, orig, now=float(i) + 1.0)  # cache hit
+        stats = hierarchy.stats
+        assert stats.lookups == stats.ptr_cache_hits + stats.final_queries
+        assert stats.ptr_cache_hits == len(queriers)
+
+    def test_level_counts_ordered(self, small_world, hierarchy, rng):
+        # Each resolution hits the final level; upper levels are a subset.
+        orig = small_world.allocate_originator(rng, country="jp")
+        hierarchy.register_originator(orig, PtrRecordSpec(ttl=30.0))
+        queriers = small_world.sample_queriers(
+            rng, 300, {QuerierRole.NS: 0.5, QuerierRole.HOME: 0.5}
+        )
+        for i, querier in enumerate(queriers):
+            hierarchy.resolve_ptr(querier, orig, now=float(i))
+        stats = hierarchy.stats
+        assert stats.final_queries >= stats.national_queries
+        assert stats.final_queries >= stats.root_queries

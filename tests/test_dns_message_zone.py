@@ -1,0 +1,115 @@
+"""Tests for DNS message types, PTR record specs, and name synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnssim.message import PtrQuery, PtrResponse, QType, QueryLogEntry, RCode
+from repro.dnssim.zone import (
+    DEFAULT_NEGATIVE_TTL,
+    PtrRecordSpec,
+    national_cut_key,
+    root_cut_key,
+)
+from repro.netmodel.addressing import str_to_ip
+from repro.netmodel.asn import ASKind, AutonomousSystem
+from repro.netmodel.addressing import Prefix
+from repro.netmodel.namespace import NameSynthesizer, QuerierRole
+
+
+class TestPtrQuery:
+    def test_qname_matches_figure_1(self):
+        query = PtrQuery(originator=str_to_ip("1.2.3.4"))
+        assert query.qname == "4.3.2.1.in-addr.arpa"
+        assert query.qtype is QType.PTR
+
+    def test_from_qname_roundtrip(self):
+        query = PtrQuery.from_qname("4.3.2.1.in-addr.arpa")
+        assert query.originator == str_to_ip("1.2.3.4")
+
+
+class TestPtrResponse:
+    def test_ok_flag(self):
+        assert PtrResponse(RCode.NOERROR, "a.example", 60.0).ok
+        assert not PtrResponse(RCode.NXDOMAIN, None, 60.0).ok
+        assert not PtrResponse(RCode.SERVFAIL, None, 60.0).ok
+
+
+class TestQueryLogEntry:
+    def test_qname_property(self):
+        entry = QueryLogEntry(timestamp=0.0, querier=1, originator=str_to_ip("1.2.3.4"))
+        assert entry.qname == "4.3.2.1.in-addr.arpa"
+
+
+class TestPtrRecordSpec:
+    def test_defaults_resolve_with_synthesized_name(self):
+        response = PtrRecordSpec().response_for(str_to_ip("10.1.2.3"))
+        assert response.ok
+        assert "10-1-2-3" in response.name
+
+    def test_explicit_name_preserved(self):
+        spec = PtrRecordSpec(name="spam.bad.jp")
+        assert spec.response_for(1).name == "spam.bad.jp"
+
+    def test_negative_ttl_used_for_nxdomain(self):
+        spec = PtrRecordSpec(has_name=False, negative_ttl=42.0)
+        response = spec.response_for(1)
+        assert response.rcode is RCode.NXDOMAIN and response.ttl == 42.0
+
+    def test_default_negative_ttl(self):
+        assert PtrRecordSpec().negative_ttl == DEFAULT_NEGATIVE_TTL
+
+
+class TestCutKeys:
+    def test_root_cut_is_slash8(self):
+        assert root_cut_key(str_to_ip("203.5.6.7")) == 203
+
+    def test_national_cut_is_slash16(self):
+        assert national_cut_key(str_to_ip("203.5.6.7")) == (203, 5)
+
+
+@pytest.fixture()
+def asystem():
+    return AutonomousSystem(
+        asn=42, country="jp", kind=ASKind.ISP, name="linx-jp-42",
+        prefixes=[Prefix.parse("133.5.0.0/16")],
+    )
+
+
+class TestNameSynthesizer:
+    def test_base_domain_stable_per_as(self, asystem):
+        namer = NameSynthesizer(np.random.default_rng(0))
+        assert namer.base_domain(asystem) == namer.base_domain(asystem)
+
+    def test_home_names_carry_address_digits(self, asystem):
+        namer = NameSynthesizer(np.random.default_rng(1))
+        addr = str_to_ip("133.5.7.9")
+        name = namer.name_for(QuerierRole.HOME, addr, asystem)
+        assert "7" in name and "9" in name
+        assert name.endswith(namer.base_domain(asystem))
+
+    def test_infrastructure_suffixes(self, asystem):
+        namer = NameSynthesizer(np.random.default_rng(2))
+        addr = str_to_ip("133.5.7.9")
+        assert "amazonaws.com" in namer.name_for(QuerierRole.AWS, addr, asystem)
+        assert "azure.com" in namer.name_for(QuerierRole.MS, addr, asystem)
+        cdn = namer.name_for(QuerierRole.CDN, addr, asystem)
+        assert any(s in cdn for s in ("akamai", "edgecast", "cdngc", "llnw"))
+
+    def test_all_roles_produce_names(self, asystem):
+        namer = NameSynthesizer(np.random.default_rng(3))
+        addr = str_to_ip("133.5.1.2")
+        for role in QuerierRole:
+            name = namer.name_for(role, addr, asystem)
+            assert name and "." in name
+
+    def test_names_are_valid_hostnames(self, asystem):
+        import re
+
+        label = re.compile(r"^[a-z0-9]([a-z0-9-]*[a-z0-9])?$")
+        namer = NameSynthesizer(np.random.default_rng(4))
+        addr = str_to_ip("133.5.200.17")
+        for role in QuerierRole:
+            for piece in namer.name_for(role, addr, asystem).split("."):
+                assert label.match(piece), (role, piece)

@@ -1,0 +1,89 @@
+"""Unit tests for the feature-drift analysis on synthetic windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import feature_drift
+from repro.analysis.longitudinal import AnalysisWindow, WindowedAnalysis
+from repro.sensor.collection import ObservationWindow
+from repro.sensor.curation import LabeledSet
+from repro.sensor.dynamic import WindowContext
+from repro.sensor.features import FEATURE_NAMES, FeatureSet
+
+
+def make_window(index: int, vectors: dict[int, np.ndarray]) -> AnalysisWindow:
+    originators = np.array(sorted(vectors), dtype=np.int64)
+    matrix = (
+        np.stack([vectors[o] for o in originators])
+        if len(originators)
+        else np.zeros((0, len(FEATURE_NAMES)))
+    )
+    return AnalysisWindow(
+        index=index,
+        start_day=float(index),
+        end_day=float(index + 1),
+        observations=ObservationWindow(start=index * 86400.0, end=(index + 1) * 86400.0),
+        features=FeatureSet(
+            originators=originators,
+            matrix=matrix,
+            context=WindowContext(0, 86400, 1, 1, 1),
+            footprints=np.full(len(originators), 30, dtype=np.int64),
+        ),
+    )
+
+
+def analysis_of(windows):
+    return WindowedAnalysis(dataset=None, window_days=1.0, windows=windows)
+
+
+def vector(value: float) -> np.ndarray:
+    return np.full(len(FEATURE_NAMES), value)
+
+
+class TestFeatureDrift:
+    def test_zero_drift_for_static_features(self):
+        windows = [make_window(i, {1: vector(1.0)}) for i in range(5)]
+        labeled = LabeledSet.from_pairs([(1, "cdn")], curated_day=0.5)
+        result = feature_drift(analysis_of(windows), labeled, curation_day=0.5)
+        for point in result.benign:
+            assert point.mean_distance == pytest.approx(0.0)
+
+    def test_drift_grows_with_shift(self):
+        windows = [make_window(i, {1: vector(1.0 + 0.5 * i)}) for i in range(5)]
+        labeled = LabeledSet.from_pairs([(1, "cdn")], curated_day=0.5)
+        result = feature_drift(analysis_of(windows), labeled, curation_day=0.5)
+        distances = [p.mean_distance for p in result.benign]
+        assert distances[0] == pytest.approx(0.0)
+        assert distances == sorted(distances)
+        assert result.benign_slope() > 0
+
+    def test_groups_separated(self):
+        windows = [
+            make_window(i, {1: vector(1.0), 2: vector(1.0 + i)}) for i in range(4)
+        ]
+        labeled = LabeledSet.from_pairs([(1, "cdn"), (2, "spam")], curated_day=0.5)
+        result = feature_drift(analysis_of(windows), labeled, curation_day=0.5)
+        assert result.benign[-1].mean_distance == pytest.approx(0.0)
+        assert result.malicious[-1].mean_distance > 0
+
+    def test_absent_examples_skipped(self):
+        windows = [
+            make_window(0, {1: vector(1.0)}),
+            make_window(1, {}),  # example vanished
+        ]
+        labeled = LabeledSet.from_pairs([(1, "cdn")], curated_day=0.5)
+        result = feature_drift(analysis_of(windows), labeled, curation_day=0.5)
+        assert result.benign[1].examples == 0
+
+    def test_bad_curation_day_rejected(self):
+        windows = [make_window(0, {1: vector(1.0)})]
+        labeled = LabeledSet.from_pairs([(1, "cdn")])
+        with pytest.raises(ValueError):
+            feature_drift(analysis_of(windows), labeled, curation_day=99.0)
+
+    def test_empty_labeled_rejected(self):
+        windows = [make_window(0, {1: vector(1.0)})]
+        with pytest.raises(ValueError):
+            feature_drift(analysis_of(windows), LabeledSet())

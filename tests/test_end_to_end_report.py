@@ -1,0 +1,74 @@
+"""End-to-end: tiny dataset → pipeline → operator report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.alerts import SurgeDetector
+from repro.analysis.longitudinal import analyze_dataset
+from repro.datasets import generate_dataset, spec_for
+from repro.sensor.report import build_report, render_report
+
+
+@pytest.fixture(scope="module")
+def tiny_analysis():
+    dataset = generate_dataset(spec_for("M-sampled", "tiny"))
+    return analyze_dataset(
+        dataset,
+        window_days=7.0,
+        min_queriers=5,
+        curation_windows=(0,),
+        per_class_cap=40,
+        majority_runs=1,
+    )
+
+
+class TestEndToEndReporting:
+    def test_reports_render_for_every_window(self, tiny_analysis):
+        previous = None
+        detector = SurgeDetector("scan", window=3, min_baseline=1)
+        rendered = []
+        for window in tiny_analysis.windows:
+            scan_count = sum(
+                1 for c in window.classification.values() if c == "scan"
+            )
+            alert = detector.update(window.mid_day, scan_count)
+            report = build_report(
+                window.observations,
+                window.classification,
+                previous_classification=previous,
+                alerts=[alert] if alert else [],
+                min_queriers=5,
+            )
+            text = render_report(report)
+            rendered.append(text)
+            assert text.startswith("# Backscatter sensor report")
+            assert f"days {window.start_day:.1f}" in text
+            previous = window.classification
+        assert len(rendered) == len(tiny_analysis.windows)
+
+    def test_second_window_reports_churn(self, tiny_analysis):
+        windows = tiny_analysis.windows
+        if len(windows) < 2 or not windows[1].classification:
+            pytest.skip("tiny draw produced no second-window classification")
+        report = build_report(
+            windows[1].observations,
+            windows[1].classification,
+            previous_classification=windows[0].classification,
+            min_queriers=5,
+        )
+        assert report.new_originators or report.departed_originators or (
+            set(windows[1].classification) == set(windows[0].classification)
+        )
+
+    def test_report_counts_match_window(self, tiny_analysis):
+        window = tiny_analysis.windows[0]
+        report = build_report(
+            window.observations, window.classification, min_queriers=5
+        )
+        assert report.observed_originators == len(window.observations)
+        assert report.analyzable_originators == sum(
+            1
+            for o in window.observations.observations.values()
+            if o.footprint >= 5
+        )

@@ -1,0 +1,130 @@
+"""Unit tests for experiment-module helper logic on synthetic results."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.consistency import ConsistencyRecord
+from repro.analysis.trends import ChurnPoint
+from repro.experiments.fig5_fig6_stability import monthly_retention
+from repro.experiments.fig8_consistency import Fig8Result
+from repro.experiments.fig11_trends import Fig11Result
+from repro.experiments.fig12_footprint_boxes import Fig12Result
+from repro.experiments.fig15_churn import Fig15Result
+from repro.experiments.fig16_diurnal import DiurnalSeries
+from repro.analysis.trends import FootprintBox
+
+
+class TestMonthlyRetention:
+    def test_full_retention(self):
+        series = [(float(d), 100) for d in range(0, 120, 7)]
+        assert monthly_retention(series, curation_day=30.0, months=1.0) == pytest.approx(1.0)
+
+    def test_half_retention(self):
+        series = [(float(d), 100 if d < 45 else 50) for d in range(0, 120, 7)]
+        assert monthly_retention(series, curation_day=30.0, months=1.0) == pytest.approx(0.5)
+
+    def test_zero_baseline(self):
+        series = [(float(d), 0) for d in range(0, 60, 7)]
+        assert monthly_retention(series, curation_day=30.0) == 0.0
+
+    def test_negative_months_looks_backward(self):
+        series = [(float(d), 50 if d < 30 else 100) for d in range(0, 120, 7)]
+        backward = monthly_retention(series, curation_day=60.0, months=-1.0)
+        assert backward == pytest.approx(0.5, abs=0.05)
+
+
+class TestFig11Result:
+    def _series(self, scans):
+        return [
+            (float(7 * i), {"scan": s}, s) for i, s in enumerate(scans)
+        ]
+
+    def test_bump_detected(self):
+        scans = [100] * 8 + [150, 140] + [100] * 5
+        result = Fig11Result(series=self._series(scans), heartbleed_day=56.0)
+        assert result.heartbleed_bump() == pytest.approx(1.5)
+
+    def test_bump_nan_without_data(self):
+        result = Fig11Result(series=[], heartbleed_day=50.0)
+        assert math.isnan(result.heartbleed_bump())
+
+    def test_scan_series_extraction(self):
+        result = Fig11Result(series=self._series([1, 2]), heartbleed_day=50.0)
+        assert result.scan_series() == [(0.0, 1), (7.0, 2)]
+
+
+class TestFig12Result:
+    def test_volatility(self):
+        boxes = [
+            FootprintBox(day=float(d), p10=10, p25=12, median=m, p75=20, p90=p90, count=10)
+            for d, (m, p90) in enumerate([(14, 30), (14, 80), (14, 25), (14, 90)])
+        ]
+        result = Fig12Result(boxes=boxes)
+        assert result.volatility("median") == pytest.approx(0.0)
+        assert result.volatility("p90") > 0.4
+
+    def test_volatility_empty(self):
+        assert math.isnan(Fig12Result(boxes=[]).volatility("median"))
+
+
+class TestFig15Result:
+    def test_turnover_and_core(self):
+        points = [
+            ChurnPoint(day=0.0, new=10, continuing=0, departing=0),
+            ChurnPoint(day=7.0, new=2, continuing=8, departing=2),
+            ChurnPoint(day=14.0, new=5, continuing=5, departing=5),
+        ]
+        result = Fig15Result(points=points)
+        assert result.mean_turnover() == pytest.approx((0.2 + 0.5) / 2)
+        assert result.continuing_core() == 5
+
+    def test_empty_turnover_nan(self):
+        assert math.isnan(Fig15Result(points=[]).mean_turnover())
+
+
+class TestFig8Result:
+    def _records(self, ratios):
+        return [
+            ConsistencyRecord(
+                originator=i, appearances=5, preferred_class="scan",
+                r=r, min_footprint=25,
+            )
+            for i, r in enumerate(ratios)
+        ]
+
+    def test_majority_fraction(self):
+        result = Fig8Result(by_threshold={20: self._records([0.4, 0.6, 1.0])})
+        assert result.majority_fraction(20) == pytest.approx(2 / 3)
+
+    def test_cdf_monotone(self):
+        result = Fig8Result(by_threshold={20: self._records([0.5, 0.7, 0.9, 1.0])})
+        values, cumulative = result.cdf(20)
+        assert (np.diff(values) >= 0).all()
+        assert cumulative[-1] == 1.0
+
+
+class TestDiurnalSeries:
+    def test_flat_profile_ratio_one(self):
+        series = DiurnalSeries(
+            label="x", originator=1, hourly=[(float(h), 10) for h in range(48)]
+        )
+        assert series.diurnal_ratio() == pytest.approx(1.0)
+
+    def test_peaked_profile(self):
+        hourly = [(float(h), 100 if h % 24 == 12 else 0) for h in range(48)]
+        series = DiurnalSeries(label="x", originator=1, hourly=hourly)
+        assert series.diurnal_ratio() == pytest.approx(24.0)
+
+    def test_folding_merges_days(self):
+        # Day 1 active in hour 3, day 2 active in hour 3: folded, one bin.
+        hourly = [(3.0, 50), (27.0, 50)]
+        series = DiurnalSeries(label="x", originator=1, hourly=hourly)
+        assert series.diurnal_ratio() == pytest.approx(24.0)
+
+    def test_empty_is_nan(self):
+        series = DiurnalSeries(label="x", originator=1, hourly=[])
+        assert math.isnan(series.diurnal_ratio())

@@ -1,0 +1,55 @@
+"""Tests for the experiment-harness plumbing (caching, windowing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.activity.diurnal import DiurnalPattern
+from repro.experiments import common
+
+
+class TestConstants:
+    def test_min_queriers_only_for_long_datasets(self):
+        assert set(common.MIN_QUERIERS) == {"M-sampled", "B-multi-year", "B-long"}
+        assert all(v <= 20 for v in common.MIN_QUERIERS.values())
+
+    def test_window_days_match_paper(self):
+        # § III-B: d = 7 days for M-sampled, d = 1 day for B-multi-year.
+        assert common.WINDOW_DAYS["M-sampled"] == 7.0
+        assert common.WINDOW_DAYS["B-multi-year"] == 1.0
+
+    def test_curation_windows_cover_msampled_trio(self):
+        # § III-E: three curations about a month apart.
+        assert len(common.CURATION_WINDOWS["M-sampled"]) == 3
+
+
+class TestLabeledFeaturesCache:
+    def test_cached_instance_reused(self):
+        one = common.labeled_features("JP-ditl", "tiny")
+        two = common.labeled_features("JP-ditl", "tiny")
+        assert one is two
+
+    def test_bundle_consistency(self):
+        bundle = common.labeled_features("JP-ditl", "tiny")
+        assert len(bundle.X) == len(bundle.y) == len(bundle.originators)
+        assert bundle.n_classes == len(bundle.encoder)
+        assert set(bundle.class_names()) <= set(
+            __import__("repro.activity", fromlist=["APPLICATION_CLASSES"]).APPLICATION_CLASSES
+        )
+        assert np.isfinite(bundle.X).all()
+
+
+class TestDiurnalVectorization:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=24.0),
+        st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=20),
+    )
+    def test_weights_matches_scalar(self, strength, peak, times):
+        pattern = DiurnalPattern(strength=strength, peak_hour=peak)
+        array = pattern.weights(np.array(times))
+        for t, w in zip(times, array):
+            assert w == pytest.approx(pattern.weight(t), rel=1e-9, abs=1e-12)

@@ -1,0 +1,121 @@
+"""Tests for the geographic /8 registry and the AS registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel.addressing import Prefix
+from repro.netmodel.asn import ASKind, ASRegistry, AutonomousSystem, build_as_registry
+from repro.netmodel.geography import DEFAULT_COUNTRIES, build_geo_registry
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return build_geo_registry()
+
+
+@pytest.fixture(scope="module")
+def asns(geo):
+    return build_as_registry(geo, np.random.default_rng(7))
+
+
+class TestGeoRegistry:
+    def test_allocates_requested_blocks(self, geo):
+        assert geo.allocated == 180
+
+    def test_every_country_has_a_block(self, geo):
+        for country in DEFAULT_COUNTRIES:
+            assert geo.blocks_of(country.code), country.code
+
+    def test_blocks_disjoint(self, geo):
+        seen = []
+        for country in DEFAULT_COUNTRIES:
+            seen.extend(geo.blocks_of(country.code))
+        assert len(seen) == len(set(seen)) == geo.allocated
+
+    def test_weight_ordering_roughly_respected(self, geo):
+        # US (weight 20) must own more /8s than Finland (weight 0.4).
+        assert len(geo.blocks_of("us")) > len(geo.blocks_of("fi"))
+
+    def test_reserved_space_untouched(self, geo):
+        for octet in (0, 10, 127, 224, 255):
+            assert octet not in geo.blocks
+
+    def test_country_lookup_matches_blocks(self, geo):
+        for octet, code in geo.blocks.items():
+            assert geo.country_of(octet << 24) == code
+            assert geo.country_of((octet << 24) | 0xFFFFFF) == code
+
+    def test_unallocated_lookup_is_none(self, geo):
+        assert geo.country_of(10 << 24) is None
+
+    def test_prefixes_of_are_slash8(self, geo):
+        for prefix in geo.prefixes_of("jp"):
+            assert prefix.length == 8
+
+    def test_overallocation_rejected(self):
+        with pytest.raises(ValueError):
+            build_geo_registry(total_blocks=300)
+
+
+class TestASRegistry:
+    def test_nonempty_and_kinds_present(self, asns):
+        assert len(asns) > 100
+        kinds = {a.kind for a in asns}
+        assert kinds == set(ASKind)
+
+    def test_asn_of_roundtrip(self, asns):
+        for asystem in list(asns)[:50]:
+            for prefix in asystem.prefixes:
+                assert asns.asn_of(prefix.network) == asystem.asn
+                assert asns.asn_of(prefix.last) == asystem.asn
+
+    def test_unrouted_space_is_none(self, asns, geo):
+        # Reserved /8 10.x is never allocated to any AS.
+        assert asns.asn_of(10 << 24) is None
+
+    def test_in_country_consistent(self, asns):
+        for asystem in asns.in_country("jp"):
+            assert asystem.country == "jp"
+
+    def test_as_of_returns_object(self, asns):
+        asystem = next(iter(asns))
+        assert asns.as_of(asystem.prefixes[0].network) is asystem
+
+    def test_prefixes_inside_country_blocks(self, asns, geo):
+        for asystem in list(asns)[:80]:
+            blocks = set(geo.blocks_of(asystem.country))
+            for prefix in asystem.prefixes:
+                assert (prefix.network >> 24) in blocks
+
+    def test_duplicate_asn_rejected(self):
+        registry = ASRegistry()
+        a = AutonomousSystem(1, "us", ASKind.ISP, "x", [Prefix.parse("1.0.0.0/16")])
+        registry.add(a)
+        dup = AutonomousSystem(1, "us", ASKind.ISP, "y", [Prefix.parse("1.1.0.0/16")])
+        with pytest.raises(ValueError):
+            registry.add(dup)
+
+    def test_overlapping_prefix_rejected(self):
+        registry = ASRegistry()
+        registry.add(
+            AutonomousSystem(1, "us", ASKind.ISP, "x", [Prefix.parse("1.0.0.0/16")])
+        )
+        with pytest.raises(ValueError):
+            registry.add(
+                AutonomousSystem(2, "us", ASKind.ISP, "y", [Prefix.parse("1.0.0.0/16")])
+            )
+
+    def test_non_slash16_rejected(self):
+        registry = ASRegistry()
+        with pytest.raises(ValueError):
+            registry.add(
+                AutonomousSystem(1, "us", ASKind.ISP, "x", [Prefix.parse("1.0.0.0/8")])
+            )
+
+    def test_deterministic_given_seed(self, geo):
+        one = build_as_registry(geo, np.random.default_rng(5))
+        two = build_as_registry(geo, np.random.default_rng(5))
+        assert [a.asn for a in one] == [a.asn for a in two]
+        assert [a.prefixes for a in one] == [a.prefixes for a in two]

@@ -1,0 +1,173 @@
+"""Tests for darknets, blacklists, and label curation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity import build_campaign
+from repro.activity.scenario import Actor
+from repro.dnssim.zone import PtrRecordSpec
+from repro.groundtruth import (
+    BlacklistRegistry,
+    Darknet,
+    GroundTruthSources,
+    build_labeled_set,
+)
+
+
+@pytest.fixture()
+def campaigns(small_world, rng):
+    out = []
+    for app_class, n in (("scan", 4), ("spam", 4), ("mail", 3), ("p2p", 2)):
+        for _ in range(n):
+            out.append(
+                build_campaign(
+                    small_world, app_class, rng, start=0.0, duration_days=1.0,
+                    audience_size=600 if app_class == "scan" else 300,
+                )
+            )
+    # Force at least one untargeted big scan so the darknet sees it.
+    out[0].targeted = False
+    return out
+
+
+class TestDarknet:
+    def test_scans_hit_darknet(self, small_world, campaigns):
+        darknet = Darknet(small_world, seed=1)
+        darknet.observe(campaigns)
+        scan_hits = [
+            darknet.dark_addresses(c.originator)
+            for c in campaigns
+            if c.app_class == "scan" and not c.targeted
+        ]
+        assert any(h > 0 for h in scan_hits)
+
+    def test_mail_never_hits_darknet(self, small_world, campaigns):
+        darknet = Darknet(small_world, seed=1)
+        darknet.observe(campaigns)
+        for campaign in campaigns:
+            if campaign.app_class == "mail":
+                assert darknet.dark_addresses(campaign.originator) == 0
+
+    def test_targeted_scans_invisible(self, small_world, campaigns):
+        darknet = Darknet(small_world, seed=1)
+        targeted = [c for c in campaigns if c.app_class == "scan"]
+        for campaign in targeted:
+            campaign.targeted = True
+        darknet.observe(campaigns)
+        for campaign in targeted:
+            assert darknet.dark_addresses(campaign.originator) == 0
+
+    def test_confirmation_threshold(self, small_world, campaigns):
+        darknet = Darknet(small_world, seed=1)
+        darknet.observe(campaigns)
+        confirmed = darknet.confirmed_scanners(threshold=1)
+        assert confirmed == {o for o, n in darknet.hits.items() if n >= 1}
+
+    def test_variants_recorded(self, small_world, campaigns):
+        darknet = Darknet(small_world, seed=1)
+        darknet.observe(campaigns)
+        for originator, variants in darknet.variants.items():
+            assert variants  # only populated for observed scan/p2p
+        assert darknet.size == sum(p.size for p in darknet.prefixes)
+
+
+class TestBlacklists:
+    def test_spam_gets_listed(self, small_world, campaigns):
+        registry = BlacklistRegistry(seed=2)
+        registry.observe(campaigns)
+        spam = [c.originator for c in campaigns if c.app_class == "spam"]
+        assert any(registry.spam_listings(o) > 0 for o in spam)
+
+    def test_mail_not_spam_listed(self, small_world, campaigns):
+        registry = BlacklistRegistry(seed=2)
+        registry.observe(campaigns)
+        for campaign in campaigns:
+            if campaign.app_class == "mail":
+                assert registry.spam_listings(campaign.originator) == 0
+                assert registry.is_clean(campaign.originator)
+
+    def test_scanners_on_other_lists_only(self, small_world, campaigns):
+        registry = BlacklistRegistry(seed=2)
+        registry.observe(campaigns)
+        for campaign in campaigns:
+            if campaign.app_class == "scan":
+                assert registry.spam_listings(campaign.originator) == 0
+
+    def test_listing_counts_bounded_by_providers(self, small_world, campaigns):
+        registry = BlacklistRegistry(seed=2)
+        registry.observe(campaigns)
+        for campaign in campaigns:
+            assert registry.spam_listings(campaign.originator) <= len(registry.providers)
+
+    def test_deterministic(self, small_world, campaigns):
+        one = BlacklistRegistry(seed=5)
+        two = BlacklistRegistry(seed=5)
+        one.observe(campaigns)
+        two.observe(campaigns)
+        for campaign in campaigns:
+            assert one.spam_listings(campaign.originator) == two.spam_listings(
+                campaign.originator
+            )
+
+
+def _actor(originator: int, app_class: str) -> Actor:
+    return Actor(
+        originator=originator,
+        app_class=app_class,
+        born_day=0.0,
+        lifetime_days=30.0,
+        home_country="us",
+        ptr_spec=PtrRecordSpec(),
+        audience_size=100,
+    )
+
+
+class TestLabeling:
+    def _sources(self, small_world, campaigns) -> GroundTruthSources:
+        darknet = Darknet(small_world, seed=1)
+        darknet.observe(campaigns)
+        registry = BlacklistRegistry(seed=2)
+        registry.observe(campaigns)
+        actors = {
+            c.originator: _actor(c.originator, c.app_class) for c in campaigns
+        }
+        return GroundTruthSources(
+            darknet=darknet, blacklists=registry, actors_by_ip=actors, seed=3
+        )
+
+    def test_labels_are_correct(self, small_world, campaigns):
+        sources = self._sources(small_world, campaigns)
+        top = [c.originator for c in campaigns]
+        labeled = build_labeled_set(sources, top)
+        for example in labeled:
+            assert sources.true_class(example.originator) == example.app_class
+
+    def test_only_top_originators_labeled(self, small_world, campaigns):
+        sources = self._sources(small_world, campaigns)
+        top = [c.originator for c in campaigns[:3]]
+        labeled = build_labeled_set(sources, top)
+        assert labeled.originators() <= set(top)
+
+    def test_per_class_cap(self, small_world, campaigns):
+        sources = self._sources(small_world, campaigns)
+        top = [c.originator for c in campaigns]
+        labeled = build_labeled_set(sources, top, per_class_cap=1)
+        assert all(count <= 1 for count in labeled.class_counts().values())
+
+    def test_research_scanners_included(self, small_world, campaigns):
+        sources = self._sources(small_world, campaigns)
+        scanner = next(c.originator for c in campaigns if c.app_class == "scan")
+        sources.research_scanners.add(scanner)
+        labeled = build_labeled_set(sources, [scanner])
+        assert labeled.label_of(scanner) == "scan"
+
+    def test_verification_rejects_wrong_candidates(self, small_world, campaigns):
+        sources = self._sources(small_world, campaigns)
+        # Claim a mail host is a known research scanner: external evidence
+        # proposes it for scan, manual verification must reject it.
+        mail_host = next(c.originator for c in campaigns if c.app_class == "mail")
+        sources.research_scanners.add(mail_host)
+        labeled = build_labeled_set(sources, [mail_host])
+        assert labeled.label_of(mail_host) != "scan"

@@ -1,0 +1,110 @@
+"""End-to-end integration tests on tiny generated datasets.
+
+These exercise the whole stack — world, scenario, DNS hierarchy, sensor,
+curation, classifier — the way the benchmark harness does, but on the
+seconds-fast ``tiny`` presets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.longitudinal import analyze_dataset, curate_from_window, slice_windows
+from repro.datasets import generate_dataset, spec_for
+from repro.ml import LabelEncoder, RandomForestClassifier, repeated_holdout
+from repro.sensor import BackscatterPipeline, LabeledSet
+
+
+@pytest.fixture(scope="module")
+def tiny_jp():
+    return generate_dataset(spec_for("JP-ditl", "tiny"))
+
+
+@pytest.fixture(scope="module")
+def tiny_m_sampled():
+    return generate_dataset(spec_for("M-sampled", "tiny"))
+
+
+class TestShortDatasetFlow:
+    def test_features_and_truth_alignment(self, tiny_jp):
+        pipeline = BackscatterPipeline(tiny_jp.directory())
+        features = pipeline.features_from_log(
+            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
+        )
+        assert len(features) >= 20
+        truth = tiny_jp.true_classes()
+        labeled_fraction = np.mean([int(o) in truth for o in features.originators])
+        assert labeled_fraction > 0.95  # analyzable originators are actors
+
+    def test_classification_beats_chance_decisively(self, tiny_jp):
+        pipeline = BackscatterPipeline(tiny_jp.directory())
+        features = pipeline.features_from_log(
+            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
+        )
+        truth = tiny_jp.true_classes()
+        names = [truth[int(o)] for o in features.originators if int(o) in truth]
+        mask = np.array([int(o) in truth for o in features.originators])
+        encoder = LabelEncoder(sorted(set(names)))
+        summary = repeated_holdout(
+            lambda s: RandomForestClassifier(seed=s),
+            features.matrix[mask],
+            encoder.encode(names),
+            len(encoder),
+            repeats=5,
+        )
+        # 11-12 classes -> chance ~0.08; require strong signal even tiny.
+        assert summary.accuracy_mean > 0.45
+
+    def test_curation_produces_correct_labels(self, tiny_jp):
+        window = slice_windows(tiny_jp, window_days=tiny_jp.spec.duration_days)[0]
+        labeled = curate_from_window(tiny_jp, window, per_class_cap=30)
+        assert len(labeled) >= 10
+        truth = tiny_jp.true_classes()
+        for example in labeled:
+            assert truth[example.originator] == example.app_class
+
+    def test_pipeline_fit_and_classify_roundtrip(self, tiny_jp):
+        pipeline = BackscatterPipeline(tiny_jp.directory(), majority_runs=3)
+        features = pipeline.features_from_log(
+            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
+        )
+        truth = tiny_jp.true_classes()
+        labeled = LabeledSet.from_pairs(
+            (int(o), truth[int(o)]) for o in features.originators if int(o) in truth
+        )
+        pipeline.fit(features, labeled)
+        labels = pipeline.classify_map(features)
+        agreement = np.mean([truth.get(o) == c for o, c in labels.items()])
+        assert agreement > 0.6
+
+
+class TestLongDatasetFlow:
+    def test_windowed_analysis(self, tiny_m_sampled):
+        # The tiny preset is deliberately sparse; scale the paper's
+        # 20-querier analyzability bar down with it.
+        analysis = analyze_dataset(
+            tiny_m_sampled,
+            window_days=7.0,
+            min_queriers=5,
+            curation_windows=(0,),
+            per_class_cap=40,
+            majority_runs=1,
+        )
+        assert len(analysis.windows) == 2  # 14 tiny days / 7
+        assert analysis.labeled is not None and len(analysis.labeled) > 0
+        classified_windows = [w for w in analysis.windows if w.classification]
+        assert classified_windows, "no window had enough labels to classify"
+
+    def test_sampling_reduces_log(self, tiny_m_sampled):
+        sensor = tiny_m_sampled.sensor
+        assert sensor.sampling == 10
+        assert len(sensor.log) <= sensor.seen_reverse // 10 + 1
+
+    def test_darknet_and_blacklists_populated(self, tiny_m_sampled):
+        assert tiny_m_sampled.darknet.hits, "no darknet hits in tiny M-sampled"
+        spammers = tiny_m_sampled.blacklists.listed_spammers()
+        truth = tiny_m_sampled.true_classes()
+        assert spammers
+        for originator in spammers:
+            assert truth[originator] == "spam"

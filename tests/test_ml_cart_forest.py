@@ -1,0 +1,201 @@
+"""Tests for the CART tree and random forest."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import CartConfig, DecisionTreeClassifier, ForestConfig, RandomForestClassifier
+
+
+def blobs(seed=0, n=60, classes=3, features=4, spread=3.0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(loc=c * spread, scale=1.0, size=(n, features)) for c in range(classes)]
+    )
+    y = np.repeat(np.arange(classes), n)
+    return X, y
+
+
+class TestCart:
+    def test_fits_separable_data_perfectly(self):
+        X, y = blobs(spread=10.0)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_generalizes_on_blobs(self):
+        X, y = blobs(seed=1)
+        Xt, yt = blobs(seed=2)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(Xt) == yt).mean() > 0.85
+
+    def test_max_depth_zero_is_majority_stump(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        tree = DecisionTreeClassifier(CartConfig(max_depth=0)).fit(X, y)
+        assert (tree.predict(X) == 1).all()
+        assert tree.depth == 0
+
+    def test_depth_bounded(self):
+        X, y = blobs(n=100)
+        tree = DecisionTreeClassifier(CartConfig(max_depth=3)).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        # With min_samples_leaf = n there can be no split at all.
+        X, y = blobs(n=20, classes=2)
+        tree = DecisionTreeClassifier(CartConfig(min_samples_leaf=len(y))).fit(X, y)
+        assert tree.node_count == 1
+
+    def test_single_class_degenerates_to_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.zeros(30, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert (tree.predict(X) == 0).all()
+
+    def test_constant_features_fit_without_split(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+
+    def test_importances_identify_signal_feature(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert int(np.argmax(tree.feature_importances_)) == 2
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_errors(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(RuntimeError):
+            tree.predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(3), np.array([0, 1, 0]))
+        fitted = DecisionTreeClassifier().fit(*blobs(n=10))
+        with pytest.raises(ValueError):
+            fitted.predict(np.zeros((2, 99)))
+
+    def test_fit_with_classes_widens_proba(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier().fit_with_classes(X, y, n_classes=5)
+        assert tree.predict_proba(X).shape == (2, 5)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit_with_classes(X, y, n_classes=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.float64, (20, 3), elements=st.floats(-100, 100)),
+        arrays(np.int64, (20,), elements=st.integers(0, 3)),
+    )
+    def test_predictions_always_valid_labels(self, X, y):
+        tree = DecisionTreeClassifier().fit(X, y)
+        predictions = tree.predict(X)
+        assert ((predictions >= 0) & (predictions < tree.n_classes_)).all()
+
+
+class TestForest:
+    def test_beats_chance_and_matches_blobs(self):
+        X, y = blobs(seed=5)
+        Xt, yt = blobs(seed=6)
+        forest = RandomForestClassifier(ForestConfig(n_trees=25), seed=0).fit(X, y)
+        assert (forest.predict(Xt) == yt).mean() > 0.9
+
+    def test_single_tree_without_bootstrap_matches_cart(self):
+        X, y = blobs(n=40)
+        config = ForestConfig(
+            n_trees=1, bootstrap=False, max_features=4, max_depth=12,
+            min_samples_split=4, min_samples_leaf=2,
+        )
+        forest = RandomForestClassifier(config, seed=0).fit(X, y)
+        tree = DecisionTreeClassifier(
+            CartConfig(max_depth=12, min_samples_split=4, min_samples_leaf=2)
+        ).fit(X, y)
+        assert (forest.predict(X) == tree.predict(X)).all()
+
+    def test_deterministic_given_seed(self):
+        X, y = blobs()
+        one = RandomForestClassifier(seed=9).fit(X, y).predict(X)
+        two = RandomForestClassifier(seed=9).fit(X, y).predict(X)
+        assert (one == two).all()
+
+    def test_importances_identify_signal_features(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 6))
+        y = ((X[:, 1] > 0) & (X[:, 4] > 0)).astype(int)
+        forest = RandomForestClassifier(ForestConfig(n_trees=40), seed=0).fit(X, y)
+        top2 = set(np.argsort(forest.feature_importances_)[-2:])
+        assert top2 == {1, 4}
+
+    def test_proba_normalized(self):
+        X, y = blobs(n=30)
+        forest = RandomForestClassifier(ForestConfig(n_trees=10), seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_missing_class_in_bootstrap_is_harmless(self):
+        # Tiny data with a rare top label: bootstrap will often miss it.
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [10.0]])
+        y = np.array([0, 0, 0, 0, 2])
+        forest = RandomForestClassifier(ForestConfig(n_trees=30), seed=1).fit(X, y)
+        assert forest.predict_proba(X).shape == (5, 3)
+
+    def test_bad_max_features_rejected(self):
+        X, y = blobs(n=10)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(ForestConfig(max_features="bogus")).fit(X, y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+
+class TestPermutationImportance:
+    def test_signal_feature_ranked_first(self):
+        from repro.ml import permutation_importance
+
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(300, 5))
+        y = (X[:, 3] > 0).astype(int)
+        model = RandomForestClassifier(ForestConfig(n_trees=30), seed=0).fit(X, y)
+        drops = permutation_importance(model, X, y, repeats=3, seed=1)
+        assert int(np.argmax(drops)) == 3
+        assert drops[3] > 0.2
+
+    def test_noise_features_near_zero(self):
+        from repro.ml import permutation_importance
+
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = RandomForestClassifier(ForestConfig(n_trees=30), seed=0).fit(X, y)
+        drops = permutation_importance(model, X, y, repeats=3, seed=1)
+        assert all(abs(d) < 0.1 for i, d in enumerate(drops) if i != 0)
+
+    def test_input_validation(self):
+        from repro.ml import permutation_importance
+
+        model = RandomForestClassifier(ForestConfig(n_trees=5), seed=0).fit(
+            np.zeros((4, 2)), np.array([0, 1, 0, 1])
+        )
+        with pytest.raises(ValueError):
+            permutation_importance(model, np.zeros((0, 2)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            permutation_importance(model, np.zeros((3, 2)), np.array([0, 1]))

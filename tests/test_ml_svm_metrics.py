@@ -1,0 +1,262 @@
+"""Tests for the SMO kernel SVM, metrics, and validation protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BinarySvm,
+    DecisionTreeClassifier,
+    LabelEncoder,
+    RandomForestClassifier,
+    SvmClassifier,
+    SvmConfig,
+    confusion_matrix,
+    evaluate,
+    majority_vote_predict,
+    repeated_holdout,
+    train_test_split,
+)
+
+
+def blobs(seed=0, n=40, classes=3, features=4, spread=4.0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(loc=c * spread, scale=1.0, size=(n, features)) for c in range(classes)]
+    )
+    y = np.repeat(np.arange(classes), n)
+    return X, y
+
+
+class TestBinarySvm:
+    def test_separates_linear_data(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-3, 1, (40, 2)), rng.normal(3, 1, (40, 2))])
+        y = np.concatenate([-np.ones(40), np.ones(40)])
+        svm = BinarySvm(SvmConfig(kernel="linear", C=1.0)).fit(X, y)
+        assert (svm.predict(X) == y).mean() > 0.97
+
+    def test_rbf_separates_circles(self):
+        # Radially separable data defeats a linear kernel; RBF must win.
+        rng = np.random.default_rng(1)
+        angles = rng.uniform(0, 2 * np.pi, 120)
+        radii = np.concatenate([rng.uniform(0, 1, 60), rng.uniform(3, 4, 60)])
+        X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        y = np.concatenate([-np.ones(60), np.ones(60)])
+        rbf = BinarySvm(SvmConfig(kernel="rbf", gamma=0.5)).fit(X, y)
+        assert (rbf.predict(X) == y).mean() > 0.95
+
+    def test_support_vectors_subset(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack([rng.normal(-5, 1, (50, 3)), rng.normal(5, 1, (50, 3))])
+        y = np.concatenate([-np.ones(50), np.ones(50)])
+        svm = BinarySvm(SvmConfig(kernel="linear")).fit(X, y)
+        # A widely separated problem needs few support vectors.
+        assert 0 < svm.n_support < 50
+
+    def test_decision_sign_matches_predict(self):
+        X, _ = blobs(classes=2, n=20)
+        y = np.concatenate([-np.ones(20), np.ones(20)])
+        svm = BinarySvm(SvmConfig()).fit(X, y)
+        scores = svm.decision_function(X)
+        assert (np.sign(scores) == svm.predict(X)).all() or (
+            (scores == 0) | (np.sign(scores) == svm.predict(X))
+        ).all()
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            BinarySvm(SvmConfig()).fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            BinarySvm(SvmConfig(kernel="poly"))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySvm(SvmConfig()).decision_function(np.zeros((1, 2)))
+
+
+class TestSvmClassifier:
+    def test_multiclass_blobs(self):
+        X, y = blobs(seed=3)
+        Xt, yt = blobs(seed=4)
+        svm = SvmClassifier(seed=0).fit(X, y)
+        assert (svm.predict(Xt) == yt).mean() > 0.9
+
+    def test_standardization_handles_scale_mismatch(self):
+        X, y = blobs(seed=5, features=2)
+        X = X * np.array([1000.0, 0.001])  # wildly different scales
+        svm = SvmClassifier(seed=0).fit(X, y)
+        assert (svm.predict(X) == y).mean() > 0.9
+
+    def test_constant_feature_no_nan(self):
+        X, y = blobs(seed=6, features=3)
+        X[:, 1] = 7.0
+        svm = SvmClassifier(seed=0).fit(X, y)
+        assert np.isfinite(svm.predict_proba(X)).all()
+
+    def test_proba_normalized(self):
+        X, y = blobs(n=20)
+        proba = SvmClassifier(seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SvmClassifier().predict(np.zeros((1, 2)))
+
+
+class TestMetrics:
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 0]), 3)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 1 and matrix[2, 0] == 1
+        assert matrix.sum() == 4
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1, 0])
+        report = evaluate(y, y, 3)
+        assert report.accuracy == 1.0
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_paper_formulas_on_binary_example(self):
+        # tp=2 fp=1 fn=1 tn=1 for class 1.
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        report = evaluate(y_true, y_pred, 2)
+        class1 = report.per_class[1]
+        assert class1.precision == pytest.approx(2 / 3)
+        assert class1.recall == pytest.approx(2 / 3)
+        assert class1.f1 == pytest.approx(2 * 2 / (2 * 2 + 1 + 1))
+        assert report.accuracy == pytest.approx(3 / 5)
+
+    def test_macro_ignores_unsupported_classes(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1])
+        report = evaluate(y_true, y_pred, 5)  # classes 2-4 unseen
+        assert report.precision == 1.0
+
+    def test_f1_between_precision_and_recall_bounds(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        report = evaluate(y_true, y_pred, 3)
+        for m in report.per_class:
+            if m.support:
+                assert min(m.precision, m.recall) - 1e-12 <= m.f1 <= max(m.precision, m.recall) + 1e-12
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 0]), 3)
+
+    def test_as_row_keys(self):
+        y = np.array([0, 1])
+        row = evaluate(y, y, 2).as_row()
+        assert set(row) == {"accuracy", "precision", "recall", "f1"}
+
+
+class TestValidation:
+    def test_label_encoder_roundtrip(self):
+        enc = LabelEncoder(["spam", "scan", "mail"])
+        labels = enc.encode(["mail", "spam"])
+        assert enc.decode(labels) == ["mail", "spam"]
+        assert "scan" in enc and len(enc) == 3
+        with pytest.raises(ValueError):
+            enc.encode(["bogus"])
+
+    def test_split_partitions_indices(self):
+        rng = np.random.default_rng(0)
+        train, test = train_test_split(100, 0.6, rng)
+        combined = np.sort(np.concatenate([train, test]))
+        assert (combined == np.arange(100)).all()
+
+    def test_stratified_keeps_rare_class_in_train(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 50 + [1] * 2)
+        for _ in range(20):
+            train, _test = train_test_split(len(y), 0.6, rng, stratify=y)
+            assert (y[train] == 1).any()
+
+    def test_stratified_rare_class_not_swallowed_entirely(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 50 + [1] * 2)
+        train, test = train_test_split(len(y), 0.6, rng, stratify=y)
+        assert (y[test] == 1).any() or (y[train] == 1).sum() == 1
+
+    def test_bad_fraction_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0, rng)
+
+    def test_repeated_holdout_statistics(self):
+        X, y = blobs(seed=7, spread=8.0)
+        summary = repeated_holdout(
+            lambda s: DecisionTreeClassifier(rng=np.random.default_rng(s)),
+            X, y, 3, repeats=8, seed=0,
+        )
+        assert summary.repeats == 8
+        assert summary.accuracy_mean > 0.9
+        assert summary.accuracy_std < 0.2
+
+    def test_majority_vote_is_deterministic(self):
+        X, y = blobs(seed=8, n=25)
+        votes1 = majority_vote_predict(
+            lambda s: RandomForestClassifier(seed=s), X, y, X, runs=5, seed=3
+        )
+        votes2 = majority_vote_predict(
+            lambda s: RandomForestClassifier(seed=s), X, y, X, runs=5, seed=3
+        )
+        assert (votes1 == votes2).all()
+        assert (votes1 == y).mean() > 0.9
+
+
+class TestSvmLabelGaps:
+    def test_fit_with_absent_middle_class(self):
+        # Labels {0, 2} with class 1 absent: one-vs-one must only build
+        # machines for present pairs and still predict valid labels.
+        rng = np.random.default_rng(11)
+        X = np.vstack([rng.normal(-3, 1, (20, 3)), rng.normal(3, 1, (20, 3))])
+        y = np.concatenate([np.zeros(20, dtype=int), np.full(20, 2, dtype=int)])
+        svm = SvmClassifier(seed=0).fit(X, y)
+        predictions = svm.predict(X)
+        assert set(predictions.tolist()) <= {0, 2}
+        assert (predictions == y).mean() > 0.9
+
+    def test_single_class_training(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.zeros(10, dtype=int)
+        svm = SvmClassifier(seed=0).fit(X, y)
+        proba = svm.predict_proba(X)
+        # No pairs -> uniform fallback votes, but still well-formed.
+        assert proba.shape == (10, 1) or np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestMetricsIdentities:
+    def test_micro_precision_equals_accuracy(self):
+        # Single-label multiclass: sum(tp) / total == accuracy.
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, 4, 200)
+        y_pred = rng.integers(0, 4, 200)
+        report = evaluate(y_true, y_pred, 4)
+        micro_tp = sum(m.tp for m in report.per_class)
+        assert micro_tp / len(y_true) == pytest.approx(report.accuracy)
+
+    def test_confusion_row_sums_are_class_supports(self):
+        rng = np.random.default_rng(2)
+        y_true = rng.integers(0, 3, 150)
+        y_pred = rng.integers(0, 3, 150)
+        matrix = confusion_matrix(y_true, y_pred, 3)
+        for c in range(3):
+            assert matrix[c].sum() == (y_true == c).sum()
+
+    def test_per_class_counts_consistent(self):
+        rng = np.random.default_rng(3)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        report = evaluate(y_true, y_pred, 3)
+        for m in report.per_class:
+            assert m.tp + m.fp + m.fn + m.tn == 100

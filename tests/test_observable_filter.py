@@ -1,0 +1,84 @@
+"""Tests for the engine's exact observability optimization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity import SimulationEngine, build_campaign
+from repro.dnssim import Authority, AuthorityLevel, DnsHierarchy
+
+
+class TestObservable:
+    def test_no_sensors_nothing_observable(self, small_world):
+        hierarchy = DnsHierarchy(small_world, seed=1)
+        querier = small_world.queriers[0]
+        assert not hierarchy.observable(querier)
+
+    def test_national_sensor_everything_observable(self, small_world):
+        hierarchy = DnsHierarchy(small_world, seed=1)
+        hierarchy.attach_national(
+            Authority(
+                name="jp", level=AuthorityLevel.NATIONAL, country="jp",
+                scope_slash8=frozenset(small_world.geo.blocks_of("jp")),
+            )
+        )
+        assert all(
+            hierarchy.observable(q) for q in small_world.queriers[:100]
+        )
+
+    def test_root_only_filters_by_preferred_letter(self, small_world):
+        hierarchy = DnsHierarchy(small_world, seed=1)
+        hierarchy.attach_root(
+            Authority(name="b", level=AuthorityLevel.ROOT, root_letter="b")
+        )
+        sample = small_world.queriers[:400]
+        observable = [q for q in sample if hierarchy.observable(q)]
+        # Some resolvers prefer b, most prefer other letters.
+        assert 0 < len(observable) < len(sample)
+        for querier in observable:
+            assert hierarchy.resolver_for(querier).preferred_root == "b"
+
+    def test_final_sensor_everything_observable(self, small_world):
+        hierarchy = DnsHierarchy(small_world, seed=1)
+        hierarchy.attach_final(
+            frozenset({123}),
+            Authority(name="f", level=AuthorityLevel.FINAL,
+                      scope_slash8=frozenset({0})),
+        )
+        assert hierarchy.observable(small_world.queriers[0])
+
+
+class TestEngineSkipsUnobservable:
+    def test_no_sensor_run_is_free(self, small_world, rng):
+        hierarchy = DnsHierarchy(small_world, seed=2)
+        engine = SimulationEngine(small_world, hierarchy)
+        campaign = build_campaign(
+            small_world, "spam", rng, start=0.0, duration_days=1.0
+        )
+        engine.add(campaign)
+        stats = engine.run(0.0, 86400.0)
+        assert stats.lookup_attempts == 0
+        assert hierarchy.stats.lookups == 0
+
+    def test_filter_preserves_root_log(self, small_world):
+        # Logs at the sensed root must be identical whether or not the
+        # unobservable resolvers are simulated (exactness property).
+        campaign = build_campaign(
+            small_world, "scan", np.random.default_rng(4), start=0.0, duration_days=1.0,
+        )
+
+        def run(force_all: bool):
+            hierarchy = DnsHierarchy(small_world, seed=9)
+            sensor = hierarchy.attach_root(
+                Authority(name="m", level=AuthorityLevel.ROOT, root_letter="m")
+            )
+            if force_all:
+                # Disable the optimization by monkeypatching observable.
+                hierarchy.observable = lambda querier: True  # type: ignore[method-assign]
+            engine = SimulationEngine(small_world, hierarchy)
+            engine.add(campaign)
+            engine.run(0.0, 86400.0)
+            return [(e.timestamp, e.querier, e.originator) for e in sensor.log]
+
+        assert run(force_all=False) == run(force_all=True)

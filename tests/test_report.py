@@ -1,0 +1,83 @@
+"""Tests for the operational window report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.alerts import Alert
+from repro.sensor.collection import ObservationWindow, OriginatorObservation
+from repro.sensor.report import build_report, render_report
+
+
+def window_of(sizes: dict[int, int]) -> ObservationWindow:
+    window = ObservationWindow(start=0.0, end=7 * 86400.0)
+    for originator, size in sizes.items():
+        observation = OriginatorObservation(originator=originator)
+        for i in range(size):
+            observation.add(float(i) * 40, 1000 + i)
+        window.observations[originator] = observation
+    return window
+
+
+BLOCK = 0x0A0A0A
+
+
+@pytest.fixture()
+def report():
+    sizes = {1: 100, 2: 50, 3: 25, 4: 5}
+    classes = {1: "spam", 2: "scan", 3: "scan"}
+    classes.update({(BLOCK << 8) | i: "scan" for i in range(1, 4)})
+    sizes.update({(BLOCK << 8) | i: 30 for i in range(1, 4)})
+    window = window_of(sizes)
+    previous = {2: "scan", 9: "mail"}
+    alerts = [Alert(day=3.5, app_class="scan", observed=5, baseline=2.0, score=4.2)]
+    return build_report(
+        window, classes, previous_classification=previous, alerts=alerts
+    )
+
+
+class TestBuildReport:
+    def test_counts(self, report):
+        assert report.observed_originators == 7
+        assert report.analyzable_originators == 6  # the size-5 one is out
+        assert report.class_counts == {"spam": 1, "scan": 5}
+
+    def test_top_ranked_by_footprint(self, report):
+        footprints = [f for _, f, _ in report.top_originators]
+        assert footprints == sorted(footprints, reverse=True)
+        assert report.top_originators[0][0] == 1
+
+    def test_churn_against_previous(self, report):
+        assert 9 not in {o for o, *_ in report.top_originators} or True
+        assert 9 in report.departed_originators
+        assert 1 in report.new_originators
+        assert 2 not in report.new_originators
+
+    def test_dense_blocks(self, report):
+        assert report.dense_blocks
+        by_block = dict(report.dense_blocks)
+        assert by_block.get(BLOCK) == 3
+
+    def test_no_previous_means_no_new_markers(self):
+        window = window_of({1: 30})
+        report = build_report(window, {1: "scan"})
+        assert report.new_originators == set()
+        assert report.departed_originators == set()
+
+
+class TestRenderReport:
+    def test_contains_sections(self, report):
+        text = render_report(report)
+        assert "# Backscatter sensor report" in text
+        assert "## Alerts" in text
+        assert "scan surge" in text
+        assert "## Largest originators" in text
+        assert "## Dense /24 blocks" in text
+        assert "10.10.10.0/24" in text
+
+    def test_quiet_report_skips_sections(self):
+        window = window_of({1: 30})
+        text = render_report(build_report(window, {1: "scan"}))
+        assert "## Alerts" not in text
+        assert "Dense /24" not in text
+        assert "class mix: scan: 1" in text

@@ -1,0 +1,65 @@
+"""Tests for the retired-service detection experiment (§ VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.retired import RetiredService, retirement_experiment
+
+
+class TestRetiredService:
+    def test_weeks_visible_after_retirement(self):
+        service = RetiredService(
+            originator=1, app_class="dns", retired_day=14.0,
+            weekly_footprints=(100, 100, 80, 40, 15, 5),
+        )
+        # Retired at week 2; weeks 2 and 3 are >= 10.
+        assert service.weeks_visible_after_retirement(threshold=10) == 3
+
+    def test_decay_detection(self):
+        decaying = RetiredService(
+            originator=1, app_class="dns", retired_day=7.0,
+            weekly_footprints=(100, 90, 70, 50, 30),
+        )
+        steady = RetiredService(
+            originator=2, app_class="dns", retired_day=7.0,
+            weekly_footprints=(100, 100, 100, 101, 100),
+        )
+        assert decaying.decays_after_retirement()
+        assert not steady.decays_after_retirement()
+
+    def test_short_tail_not_decaying(self):
+        service = RetiredService(
+            originator=1, app_class="dns", retired_day=21.0,
+            weekly_footprints=(100, 100, 100, 50),
+        )
+        assert not service.decays_after_retirement()
+
+
+class TestRetirementExperiment:
+    @pytest.fixture(scope="class")
+    def study(self, small_world):
+        return retirement_experiment(
+            small_world,
+            n_services=2,
+            duration_days=56.0,
+            retired_day=14.0,
+            initial_audience=250,
+            seed=5,
+        )
+
+    def test_services_tracked(self, study):
+        assert len(study.services) == 2
+        for service in study.services:
+            assert len(service.weekly_footprints) == 8
+
+    def test_visible_and_decaying(self, study):
+        for service in study.services:
+            assert service.weeks_visible_after_retirement(threshold=10) >= 3
+            assert service.decays_after_retirement()
+
+    def test_full_strength_before_retirement(self, study):
+        for service in study.services:
+            before = service.weekly_footprints[:2]
+            after_tail = service.weekly_footprints[-1]
+            assert min(before) > after_tail

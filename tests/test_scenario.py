@@ -1,0 +1,133 @@
+"""Tests for long-horizon scenarios: actors, churn, teams, Heartbleed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity import (
+    APPLICATION_CLASSES,
+    MALICIOUS_CLASSES,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.netmodel import World, WorldConfig, slash24
+
+
+@pytest.fixture(scope="module")
+def scenario_world():
+    return World(WorldConfig(seed=77, scale=0.3))
+
+
+@pytest.fixture(scope="module")
+def scenario(scenario_world) -> Scenario:
+    config = ScenarioConfig(
+        seed=5,
+        duration_days=60.0,
+        heartbleed_day=30.0,
+        heartbleed_extra_scanners=8,
+        audience_scale=0.3,
+    )
+    return build_scenario(scenario_world, config)
+
+
+class TestScenarioBuild:
+    def test_all_classes_represented(self, scenario):
+        present = {actor.app_class for actor in scenario.actors}
+        assert present == set(APPLICATION_CLASSES)
+
+    def test_actor_addresses_unique(self, scenario):
+        addrs = [a.originator for a in scenario.actors]
+        assert len(addrs) == len(set(addrs))
+
+    def test_campaigns_sorted_and_clipped(self, scenario):
+        starts = [c.start for c in scenario.campaigns]
+        assert starts == sorted(starts)
+        horizon = scenario.config.duration_days * 86400.0
+        for campaign in scenario.campaigns:
+            assert campaign.start < horizon
+            assert campaign.end > 0.0
+
+    def test_campaign_originators_come_from_actors(self, scenario):
+        actor_ips = {a.originator for a in scenario.actors}
+        assert {c.originator for c in scenario.campaigns} <= actor_ips
+
+    def test_episodic_actors_recur(self, scenario):
+        # A long-lived spam actor should emit several campaigns.
+        from collections import Counter
+
+        per_actor = Counter(c.originator for c in scenario.campaigns if c.app_class == "spam")
+        assert max(per_actor.values(), default=0) >= 2
+
+    def test_continuous_actor_single_campaign(self, scenario):
+        from collections import Counter
+
+        per_actor = Counter(c.originator for c in scenario.campaigns if c.app_class == "cdn")
+        assert per_actor and max(per_actor.values()) == 1
+
+    def test_deterministic(self):
+        # Allocation state is per-world, so compare scenarios built on
+        # two identically seeded worlds.
+        config = ScenarioConfig(seed=9, duration_days=20.0, audience_scale=0.3)
+
+        def build():
+            world = World(WorldConfig(seed=77, scale=0.3))
+            return build_scenario(world, config)
+
+        one, two = build(), build()
+        assert len(one.actors) == len(two.actors)
+        assert [a.originator for a in one.actors] == [a.originator for a in two.actors]
+        assert [a.born_day for a in one.actors] == [a.born_day for a in two.actors]
+
+
+class TestLifetimes:
+    def test_malicious_lifetimes_shorter(self, scenario):
+        def mean_life(classes):
+            values = [
+                a.lifetime_days for a in scenario.actors
+                if a.app_class in classes and not a.persistent
+            ]
+            return float(np.mean(values)) if values else 0.0
+
+        assert mean_life(MALICIOUS_CLASSES) < mean_life({"cdn", "cloud", "dns"})
+
+    def test_alive_counts_match_lifetimes(self, scenario):
+        counts = scenario.alive_counts(day=0.0)
+        assert sum(counts.values()) > 0
+        for actor in scenario.actors:
+            if actor.alive_on(0.0):
+                assert actor.born_day <= 0.0 <= actor.dies_day
+
+
+class TestTeamsAndEvents:
+    def test_team_blocks_allocated(self, scenario):
+        assert len(scenario.team_prefixes) == scenario.config.team_blocks
+        team_actors = [a for a in scenario.actors if a.team_block is not None]
+        assert team_actors, "no scan actors landed in team blocks"
+        for actor in team_actors:
+            assert slash24(actor.originator) << 8 == actor.team_block.network
+
+    def test_heartbleed_injects_tcp443(self, scenario):
+        burst = [
+            a for a in scenario.actors
+            if a.variant == "tcp443"
+            and scenario.config.heartbleed_day
+            <= a.born_day
+            <= scenario.config.heartbleed_day + scenario.config.heartbleed_window_days
+        ]
+        assert len(burst) >= scenario.config.heartbleed_extra_scanners
+
+    def test_persistent_scanners_exist(self, scenario):
+        persistent = [a for a in scenario.actors if a.persistent]
+        assert persistent
+        assert all(a.app_class == "scan" for a in persistent)
+        assert all(a.variant in ("tcp22", "multi") for a in persistent)
+
+    def test_forced_home_country(self, scenario_world):
+        config = ScenarioConfig(
+            seed=3, duration_days=10.0, force_home_country="jp", audience_scale=0.3
+        )
+        forced = build_scenario(scenario_world, config)
+        for actor in forced.actors:
+            assert scenario_world.country_of(actor.originator) == "jp"

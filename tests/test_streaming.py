@@ -1,0 +1,146 @@
+"""Tests for the streaming collector, incl. batch-equivalence property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnssim.message import QueryLogEntry
+from repro.sensor.collection import collect_window
+from repro.sensor.streaming import StreamingCollector
+
+
+def entry(ts: float, querier: int = 1, originator: int = 2) -> QueryLogEntry:
+    return QueryLogEntry(timestamp=ts, querier=querier, originator=originator)
+
+
+class TestWindowing:
+    def test_windows_emitted_at_boundaries(self):
+        collector = StreamingCollector(window_seconds=100.0, reorder_slack=0.0)
+        collector.ingest(entry(10.0))
+        assert collector.pending_windows == 1
+        collector.ingest(entry(150.0))  # crosses into window 1
+        done = collector.completed_windows()
+        assert len(done) == 1
+        assert done[0].start == 0.0 and done[0].end == 100.0
+        assert 2 in done[0]
+
+    def test_flush_closes_open_windows(self):
+        collector = StreamingCollector(window_seconds=100.0)
+        collector.ingest(entry(10.0))
+        collector.ingest(entry(110.0))
+        done = collector.flush()
+        assert len(done) == 2
+        assert collector.pending_windows == 0
+
+    def test_callback_invoked(self):
+        seen = []
+        collector = StreamingCollector(
+            window_seconds=50.0, reorder_slack=0.0, on_window=seen.append
+        )
+        collector.ingest(entry(0.0))
+        collector.ingest(entry(60.0))
+        assert len(seen) == 1
+
+    def test_window_alignment_with_origin(self):
+        collector = StreamingCollector(window_seconds=100.0, origin=1000.0)
+        collector.ingest(entry(1010.0))
+        window = collector.flush()[0]
+        assert window.start == 1000.0 and window.end == 1100.0
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            StreamingCollector(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            StreamingCollector(window_seconds=1.0, dedup_window=-1.0)
+
+
+class TestDedupAndLateness:
+    def test_online_dedup(self):
+        collector = StreamingCollector(window_seconds=1000.0)
+        collector.ingest(entry(0.0))
+        collector.ingest(entry(10.0))
+        collector.ingest(entry(40.0))
+        assert collector.stats.deduplicated == 1
+        window = collector.flush()[0]
+        assert window.observations[2].query_count == 2
+
+    def test_strictly_late_entries_dropped(self):
+        collector = StreamingCollector(window_seconds=1000.0, reorder_slack=2.0)
+        collector.ingest(entry(100.0))
+        collector.ingest(entry(50.0))  # 50s late, slack is 2s
+        assert collector.stats.late_dropped == 1
+
+    def test_slightly_reordered_accepted(self):
+        collector = StreamingCollector(window_seconds=1000.0, reorder_slack=5.0)
+        collector.ingest(entry(100.0, querier=1))
+        collector.ingest(entry(97.0, querier=2))
+        assert collector.stats.late_dropped == 0
+        window = collector.flush()[0]
+        assert window.observations[2].footprint == 2
+
+    def test_pre_origin_entries_dropped(self):
+        collector = StreamingCollector(window_seconds=100.0, origin=1000.0)
+        collector.ingest(entry(500.0))
+        assert collector.stats.late_dropped == 1
+        assert collector.pending_windows == 0
+
+    def test_emitted_windows_never_mutated(self):
+        collector = StreamingCollector(window_seconds=100.0, reorder_slack=2.0)
+        collector.ingest(entry(10.0))
+        collector.ingest(entry(200.0))
+        first = collector.completed_windows()[0]
+        count_before = first.observations[2].query_count
+        # This entry belongs to the emitted window but is beyond slack.
+        collector.ingest(entry(20.0, querier=9))
+        assert first.observations[2].query_count == count_before
+        assert collector.stats.late_dropped == 1
+
+    def test_dedup_state_pruned(self):
+        collector = StreamingCollector(window_seconds=50.0, reorder_slack=0.0)
+        for i in range(5000):
+            collector.ingest(entry(float(i), querier=i, originator=i))
+        assert collector.dedup_state_size < 5000
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=950, allow_nan=False),
+                st.integers(1, 4),
+                st.integers(1, 3),
+            ),
+            max_size=80,
+        )
+    )
+    def test_matches_batch_collection(self, raw):
+        entries = [entry(t, q, o) for t, q, o in sorted(raw, key=lambda r: r[0])]
+        collector = StreamingCollector(window_seconds=250.0, reorder_slack=0.0)
+        collector.ingest_many(entries)
+        streamed = {
+            (w.start, w.end): w for w in collector.flush() if len(w)
+        }
+        # Global-batch equivalence: the streamed windows match a batch
+        # pass that dedups globally and then slices by window boundary
+        # (streaming dedup state deliberately crosses boundaries too).
+        from repro.sensor.collection import dedup_entries
+
+        deduped = dedup_entries(entries)
+        expected: dict[tuple[float, float], dict[int, list[tuple[float, int]]]] = {}
+        for e in deduped:
+            index = int(e.timestamp // 250.0)
+            key = (index * 250.0, (index + 1) * 250.0)
+            expected.setdefault(key, {}).setdefault(e.originator, []).append(
+                (e.timestamp, e.querier)
+            )
+        assert set(streamed) == set(expected)
+        for key, per_originator in expected.items():
+            window = streamed[key]
+            for originator, queries in per_originator.items():
+                observation = window.observations[originator]
+                assert observation.query_count == len(queries)
+                assert observation.unique_queriers == frozenset(q for _, q in queries)

@@ -1,0 +1,125 @@
+"""Tests for training-over-time strategies (§ III-E, § V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.cart import DecisionTreeClassifier
+from repro.sensor.curation import LabeledSet
+from repro.sensor.dynamic import WindowContext
+from repro.sensor.features import FEATURE_NAMES, FeatureSet
+from repro.sensor.training import Strategy, evaluate_strategy
+
+
+def synthetic_windows(
+    n_windows: int,
+    drift: float = 0.0,
+    departures_per_window: int = 0,
+    seed: int = 0,
+):
+    """Feature windows for 2 classes of 12 originators each.
+
+    Class 0 clusters at feature value 0, class 1 at 4; ``drift`` shifts
+    class 1 toward class 0 each window (behavior change), and
+    ``departures_per_window`` removes class-1 originators over time
+    (activity churn).
+    """
+    rng = np.random.default_rng(seed)
+    originators = {0: list(range(100, 112)), 1: list(range(200, 212))}
+    labeled = LabeledSet.from_pairs(
+        [(o, "mail") for o in originators[0]] + [(o, "spam") for o in originators[1]]
+    )
+    windows = []
+    for w in range(n_windows):
+        active0 = originators[0]
+        active1 = originators[1][: max(4, len(originators[1]) - departures_per_window * w)]
+        rows, ids = [], []
+        for o in active0:
+            rows.append(rng.normal(0.0, 0.5, len(FEATURE_NAMES)))
+            ids.append(o)
+        center = 4.0 - drift * w
+        for o in active1:
+            rows.append(rng.normal(center, 0.5, len(FEATURE_NAMES)))
+            ids.append(o)
+        features = FeatureSet(
+            originators=np.array(ids, dtype=np.int64),
+            matrix=np.stack(rows),
+            context=WindowContext(start=0, end=86400, total_ases=1, total_countries=1, total_queriers=1),
+            footprints=np.full(len(ids), 30, dtype=np.int64),
+        )
+        windows.append((float(w), features))
+    return windows, labeled
+
+
+def tree_factory(seed: int):
+    return DecisionTreeClassifier(rng=np.random.default_rng(seed))
+
+
+class TestEvaluateStrategy:
+    def test_stable_world_all_strategies_good(self):
+        windows, labeled = synthetic_windows(5)
+        for strategy in Strategy:
+            evaluation = evaluate_strategy(
+                strategy, windows, labeled, tree_factory,
+                min_per_class=3, min_total=8, majority_runs=1,
+            )
+            assert evaluation.mean_f1() > 0.9, strategy
+
+    def test_train_once_degrades_under_drift(self):
+        windows, labeled = synthetic_windows(8, drift=0.8)
+        once = evaluate_strategy(
+            Strategy.TRAIN_ONCE, windows, labeled, tree_factory,
+            min_per_class=3, min_total=8, majority_runs=1,
+        )
+        daily = evaluate_strategy(
+            Strategy.TRAIN_DAILY, windows, labeled, tree_factory,
+            min_per_class=3, min_total=8, majority_runs=1,
+        )
+        last_once = once.f1_series()[-1][1]
+        last_daily = daily.f1_series()[-1][1]
+        assert last_daily > last_once
+
+    def test_untrained_windows_reported(self):
+        windows, labeled = synthetic_windows(6, departures_per_window=3)
+        evaluation = evaluate_strategy(
+            Strategy.TRAIN_DAILY, windows, labeled, tree_factory,
+            min_per_class=8, min_total=18, majority_runs=1,
+        )
+        assert evaluation.trained_fraction() < 1.0
+        untrained = [s for s in evaluation.scores if not s.trained]
+        assert all(s.report is None for s in untrained)
+
+    def test_windows_must_be_ordered(self):
+        windows, labeled = synthetic_windows(3)
+        with pytest.raises(ValueError):
+            evaluate_strategy(
+                Strategy.TRAIN_ONCE, list(reversed(windows)), labeled, tree_factory
+            )
+
+    def test_empty_windows_rejected(self):
+        _, labeled = synthetic_windows(1)
+        with pytest.raises(ValueError):
+            evaluate_strategy(Strategy.TRAIN_ONCE, [], labeled, tree_factory)
+
+    def test_auto_grow_uses_own_predictions(self):
+        # With heavy drift, auto-grow's propagated labels decay; it must
+        # never *beat* train-daily, which keeps the curated labels.
+        windows, labeled = synthetic_windows(8, drift=0.7, seed=3)
+        auto = evaluate_strategy(
+            Strategy.AUTO_GROW, windows, labeled, tree_factory,
+            min_per_class=3, min_total=8, majority_runs=1, seed=1,
+        )
+        daily = evaluate_strategy(
+            Strategy.TRAIN_DAILY, windows, labeled, tree_factory,
+            min_per_class=3, min_total=8, majority_runs=1, seed=1,
+        )
+        assert auto.mean_f1() <= daily.mean_f1() + 1e-9
+
+    def test_scores_align_with_windows(self):
+        windows, labeled = synthetic_windows(4)
+        evaluation = evaluate_strategy(
+            Strategy.TRAIN_DAILY, windows, labeled, tree_factory,
+            min_per_class=3, min_total=8, majority_runs=1,
+        )
+        assert [s.day for s in evaluation.scores] == [d for d, _ in windows]

@@ -1,0 +1,159 @@
+"""Tests for the SVG chart primitives and figure renderers."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import Axis, Chart, Scale
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestScale:
+    def test_linear_mapping(self):
+        scale = Scale(0.0, 10.0, 100.0, 200.0)
+        assert scale(0.0) == 100.0
+        assert scale(10.0) == 200.0
+        assert scale(5.0) == 150.0
+
+    def test_log_mapping(self):
+        scale = Scale(1.0, 100.0, 0.0, 100.0, log=True)
+        assert scale(1.0) == pytest.approx(0.0)
+        assert scale(10.0) == pytest.approx(50.0)
+        assert scale(100.0) == pytest.approx(100.0)
+
+    def test_inverted_pixels_allowed(self):
+        # y axes map up the screen: pixel_high < pixel_low.
+        scale = Scale(0.0, 1.0, 300.0, 100.0)
+        assert scale(1.0) == 100.0
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Scale(0.0, 10.0, 0.0, 1.0, log=True)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Scale(5.0, 5.0, 0.0, 1.0)
+
+    def test_linear_ticks_cover_domain(self):
+        scale = Scale(0.0, 103.0, 0.0, 1.0)
+        ticks = scale.ticks()
+        assert ticks[0] >= 0.0 and ticks[-1] <= 103.0
+        assert len(ticks) >= 3
+        steps = np.diff(ticks)
+        assert np.allclose(steps, steps[0])
+
+    def test_log_ticks_are_decades(self):
+        scale = Scale(1.0, 10_000.0, 0.0, 1.0, log=True)
+        assert scale.ticks() == [1.0, 10.0, 100.0, 1000.0, 10_000.0]
+
+
+class TestChart:
+    def test_renders_valid_xml(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.line([0, 1, 2], [0, 1, 4], label="series")
+        root = parse(chart.render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_line_becomes_polyline(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.line([0, 1], [0, 1], label="a")
+        chart.line([0, 1], [1, 0], label="b")
+        root = parse(chart.render())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_scatter_becomes_circles(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.scatter([1, 2, 3], [1, 2, 3])
+        root = parse(chart.render())
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+
+    def test_log_axis_skips_nonpositive_points(self):
+        chart = Chart("t", Axis("x", log=True), Axis("y", log=True))
+        chart.scatter([0, 1, 10], [5, 0, 50])
+        root = parse(chart.render())
+        assert len(root.findall(f"{SVG_NS}circle")) == 1
+
+    def test_legend_entries_rendered(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.line([0, 1], [0, 1], label="visible-label")
+        text = chart.render()
+        assert "visible-label" in text
+
+    def test_title_escaped(self):
+        chart = Chart("a < b & c", Axis("x"), Axis("y"))
+        chart.line([0, 1], [0, 1])
+        root = parse(chart.render())  # would raise on unescaped '<'
+        assert "a < b & c" in "".join(root.itertext())
+
+    def test_boxes_render(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.boxes([1, 2], [(1, 2, 3, 4, 5), (2, 3, 4, 5, 6)])
+        root = parse(chart.render())
+        assert len(root.findall(f"{SVG_NS}rect")) >= 3  # background + 2 boxes
+
+    def test_stacked_bars_render(self):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.stacked_bars([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        root = parse(chart.render())
+        assert len(root.findall(f"{SVG_NS}rect")) >= 7
+
+    def test_save_writes_file(self, tmp_path):
+        chart = Chart("t", Axis("x"), Axis("y"))
+        chart.line([0, 1], [0, 1])
+        out = chart.save(tmp_path / "nested" / "chart.svg")
+        assert out.exists()
+        parse(out.read_text())
+
+
+class TestFigureRenderers:
+    def test_fig4_renderer(self, tmp_path):
+        from repro.analysis.controlled import ControlledTrial
+        from repro.experiments.fig4_controlled import Fig4Result
+        from repro.viz.figures import render_fig4
+
+        trials = [
+            ControlledTrial(1e-5, 30_000, 100, 100, 0, 1),
+            ControlledTrial(1e-3, 3_000_000, 2000, 2000, 2, 8),
+        ]
+        result = Fig4Result(
+            trials=trials, power=0.7, coefficient=0.1, detection_fraction=1e-5
+        )
+        out = render_fig4(result, tmp_path / "fig4.svg")
+        parse(out.read_text())
+
+    def test_fig15_renderer(self, tmp_path):
+        from repro.analysis.trends import ChurnPoint
+        from repro.experiments.fig15_churn import Fig15Result
+        from repro.viz.figures import render_fig15
+
+        result = Fig15Result(
+            points=[
+                ChurnPoint(day=3.5, new=5, continuing=10, departing=2),
+                ChurnPoint(day=10.5, new=3, continuing=11, departing=4),
+            ]
+        )
+        out = render_fig15(result, tmp_path / "fig15.svg")
+        parse(out.read_text())
+
+    def test_fig8_renderer(self, tmp_path):
+        from repro.analysis.consistency import ConsistencyRecord
+        from repro.experiments.fig8_consistency import Fig8Result
+        from repro.viz.figures import render_fig8
+
+        records = [
+            ConsistencyRecord(originator=i, appearances=5, preferred_class="scan",
+                              r=0.5 + 0.1 * (i % 5), min_footprint=25)
+            for i in range(10)
+        ]
+        result = Fig8Result(by_threshold={20: records, 50: records[:4]})
+        out = render_fig8(result, tmp_path / "fig8.svg")
+        parse(out.read_text())

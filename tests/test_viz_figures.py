@@ -1,0 +1,131 @@
+"""Tests for the remaining figure renderers on synthetic results."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.trends import ChurnPoint, FootprintBox
+from repro.experiments.fig5_fig6_stability import StabilityResult
+from repro.experiments.fig11_trends import Fig11Result
+from repro.experiments.fig12_footprint_boxes import Fig12Result
+from repro.viz.figures import (
+    render_fig3,
+    render_fig5_fig6,
+    render_fig7,
+    render_fig9,
+    render_fig11,
+    render_fig12,
+)
+
+
+def parse(path):
+    return ET.fromstring(path.read_text())
+
+
+class TestRenderFig3:
+    def test_stacked_bars(self, tmp_path):
+        from repro.experiments.case_studies import CaseStudy
+
+        cases = [
+            CaseStudy(
+                label=name,
+                originator=i,
+                footprint=100,
+                static={
+                    "home": 0.3, "mail": 0.2, "ns": 0.1, "fw": 0.1,
+                    "antispam": 0.0, "other": 0.1, "unreach": 0.1, "nxdomain": 0.1,
+                },
+                dynamic={},
+            )
+            for i, name in enumerate(["spam", "cdn"])
+        ]
+        out = render_fig3(cases, tmp_path / "fig3.svg")
+        root = parse(out)
+        assert root.tag.endswith("svg")
+
+
+class TestRenderFig5Fig6:
+    def test_two_lines_and_curation_marker(self, tmp_path):
+        result = StabilityResult(
+            curation_day=30.0,
+            benign=[(float(d), 100 - d // 10) for d in range(0, 90, 7)],
+            malicious=[(float(d), max(0, 50 - d)) for d in range(0, 90, 7)],
+            per_class={},
+        )
+        out = render_fig5_fig6(result, tmp_path / "fig56.svg")
+        text = out.read_text()
+        assert "benign" in text and "malicious" in text and "curation" in text
+        parse(out)
+
+
+class TestRenderFig7:
+    def test_strategy_lines(self, tmp_path):
+        from repro.experiments.fig7_strategies import Fig7Result
+        from repro.sensor.training import (
+            Strategy,
+            TimeSeriesEvaluation,
+            WindowScore,
+        )
+        from repro.ml.metrics import evaluate
+
+        y = np.array([0, 1, 0, 1])
+        report = evaluate(y, y, 2)
+        evaluations = {
+            strategy: TimeSeriesEvaluation(
+                strategy=strategy,
+                scores=[
+                    WindowScore(day=float(d), trained=True, n_reappearing=4, report=report)
+                    for d in range(0, 60, 10)
+                ],
+            )
+            for strategy in Strategy
+        }
+        result = Fig7Result(curation_day=10.0, evaluations=evaluations)
+        out = render_fig7(result, tmp_path / "fig7.svg")
+        text = out.read_text()
+        for strategy in Strategy:
+            assert strategy.value in text
+        parse(out)
+
+
+class TestRenderFig9:
+    def test_ccdf_curves(self, tmp_path):
+        from repro.experiments.fig9_footprints import FootprintCurve
+
+        sizes = np.array([100, 50, 30, 20, 20, 10])
+        x = np.array([10.0, 20.0, 30.0, 50.0, 100.0])
+        survival = np.array([1.0, 0.8, 0.5, 0.3, 0.1])
+        curves = [
+            FootprintCurve(dataset="JP-ditl", sizes=sizes, x=x, survival=survival)
+        ]
+        out = render_fig9(curves, tmp_path / "fig9.svg")
+        assert "JP-ditl" in out.read_text()
+        parse(out)
+
+
+class TestRenderFig11:
+    def test_class_lines_and_event(self, tmp_path):
+        series = [
+            (float(7 * i), {"scan": 5 + i, "spam": 10, "mail": 2, "cdn": 8}, 30)
+            for i in range(10)
+        ]
+        result = Fig11Result(series=series, heartbleed_day=50.0)
+        out = render_fig11(result, tmp_path / "fig11.svg")
+        text = out.read_text()
+        assert "Heartbleed" in text and "scan" in text
+        parse(out)
+
+
+class TestRenderFig12:
+    def test_boxes(self, tmp_path):
+        boxes = [
+            FootprintBox(day=float(7 * i), p10=10, p25=12, median=15, p75=20, p90=40, count=12)
+            for i in range(6)
+        ]
+        out = render_fig12(Fig12Result(boxes=boxes), tmp_path / "fig12.svg")
+        root = parse(out)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) >= 7  # background + 6 boxes

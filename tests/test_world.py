@@ -1,0 +1,135 @@
+"""Tests for world construction and its sampling/allocation APIs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netmodel import (
+    ASKind,
+    NameStatus,
+    QuerierRole,
+    World,
+    WorldConfig,
+    slash24,
+)
+
+
+class TestWorldBuild:
+    def test_population_summary(self, small_world):
+        summary = small_world.summary()
+        assert summary["queriers"] > 1000
+        assert summary["ases"] > 100
+
+    def test_deterministic(self):
+        one = World(WorldConfig(seed=7, scale=0.1))
+        two = World(WorldConfig(seed=7, scale=0.1))
+        assert [q.addr for q in one.queriers] == [q.addr for q in two.queriers]
+        assert [q.name for q in one.queriers] == [q.name for q in two.queriers]
+
+    def test_seed_changes_population(self):
+        one = World(WorldConfig(seed=7, scale=0.1))
+        two = World(WorldConfig(seed=8, scale=0.1))
+        assert [q.addr for q in one.queriers] != [q.addr for q in two.queriers]
+
+    def test_querier_addresses_unique(self, small_world):
+        addrs = [q.addr for q in small_world.queriers]
+        assert len(addrs) == len(set(addrs))
+
+    def test_querier_geography_consistent(self, small_world):
+        for querier in small_world.queriers[:500]:
+            assert small_world.country_of(querier.addr) == querier.country
+            assert small_world.asn_of(querier.addr) == querier.asn
+
+    def test_nameless_fraction_matches_paper(self, small_world):
+        # The paper reports 14-19% of queriers without reverse names.
+        nameless = sum(1 for q in small_world.queriers if q.name is None)
+        fraction = nameless / len(small_world.queriers)
+        assert 0.10 < fraction < 0.25
+
+    def test_name_status_matches_name(self, small_world):
+        for querier in small_world.queriers:
+            if querier.name_status is NameStatus.OK:
+                assert querier.name is not None
+            else:
+                assert querier.name is None
+
+    def test_all_roles_present(self, small_world):
+        present = {q.role for q in small_world.queriers}
+        assert QuerierRole.HOME in present
+        assert QuerierRole.MAIL in present
+        assert QuerierRole.NS in present
+        assert QuerierRole.CDN in present
+
+    def test_shared_flag_only_on_ns(self, small_world):
+        for querier in small_world.queriers:
+            if querier.shared:
+                assert querier.role is QuerierRole.NS
+
+
+class TestSampling:
+    def test_role_mix_respected(self, small_world, rng):
+        sampled = small_world.sample_queriers(
+            rng, 400, {QuerierRole.MAIL: 0.7, QuerierRole.NS: 0.3}
+        )
+        roles = [q.role for q in sampled]
+        assert set(roles) <= {QuerierRole.MAIL, QuerierRole.NS}
+        mail_fraction = roles.count(QuerierRole.MAIL) / len(roles)
+        assert 0.55 < mail_fraction < 0.85
+
+    def test_sampling_without_replacement(self, small_world, rng):
+        sampled = small_world.sample_queriers(rng, 300, {QuerierRole.HOME: 1.0})
+        addrs = [q.addr for q in sampled]
+        assert len(addrs) == len(set(addrs))
+
+    def test_country_weights_concentrate(self, small_world, rng):
+        # Keep the draw well below the per-country pool size: once a
+        # country's pool is exhausted, sampling correctly spills globally.
+        sampled = small_world.sample_queriers(
+            rng,
+            20,
+            {QuerierRole.MAIL: 1.0},
+            country_weights={"jp": 0.9, "us": 0.1},
+        )
+        jp_fraction = sum(1 for q in sampled if q.country == "jp") / len(sampled)
+        assert jp_fraction > 0.5
+
+    def test_zero_weight_roles_excluded(self, small_world, rng):
+        sampled = small_world.sample_queriers(
+            rng, 100, {QuerierRole.MAIL: 1.0, QuerierRole.NTP: 0.0}
+        )
+        assert all(q.role is QuerierRole.MAIL for q in sampled)
+
+
+class TestAllocation:
+    def test_originator_in_requested_country(self, small_world, rng):
+        addr = small_world.allocate_originator(rng, country="de")
+        assert small_world.country_of(addr) == "de"
+
+    def test_originator_in_requested_kind(self, small_world, rng):
+        addr = small_world.allocate_originator(rng, kind=ASKind.HOSTING)
+        asystem = small_world.asns.as_of(addr)
+        assert asystem is not None and asystem.kind is ASKind.HOSTING
+
+    def test_unrouted_allocation(self, small_world, rng):
+        addr = small_world.allocate_originator(rng, routed=False)
+        assert small_world.asn_of(addr) is None
+        assert small_world.country_of(addr) is not None
+
+    def test_allocations_never_collide(self, small_world, rng):
+        addrs = {small_world.allocate_originator(rng) for _ in range(200)}
+        assert len(addrs) == 200
+        querier_addrs = {q.addr for q in small_world.queriers}
+        assert not (addrs & querier_addrs)
+
+    def test_team_block_allocation(self, small_world, rng):
+        block = small_world.allocate_team_block(rng, country="cn")
+        assert block.length == 24
+        members = [small_world.allocate_in_block(rng, block) for _ in range(10)]
+        assert len(set(members)) == 10
+        assert all(slash24(m) == slash24(block.network) for m in members)
+        assert all(small_world.country_of(m) == "cn" for m in members)
+
+    def test_impossible_constraint_raises(self, small_world, rng):
+        with pytest.raises(ValueError):
+            small_world.allocate_originator(rng, country="zz")
