@@ -20,7 +20,7 @@ from repro.analysis.controlled import fit_power_law, run_experiment
 from repro.datasets import read_log, write_log
 from repro.dnssim import Authority, AuthorityLevel, DnsHierarchy, ResolverConfig
 from repro.netmodel import World, WorldConfig, ip_to_str
-from repro.sensor import WorldDirectory, collect_window, extract_features
+from repro.sensor import SensorConfig, SensorEngine, WorldDirectory
 
 
 def main() -> None:
@@ -64,8 +64,9 @@ def main() -> None:
 
     # --- extract features the way the sensor would -----------------------
     directory = WorldDirectory(world)
-    window = collect_window(list(de_sensor.log), 0.0, 2 * 86400.0)
-    features = extract_features(window, directory, min_queriers=10)
+    sensor = SensorEngine(directory, SensorConfig(min_queriers=10))
+    window = sensor.collect(de_sensor.log, 0.0, 2 * 86400.0)
+    features = sensor.featurize(window)
     for originator, row in zip(features.originators, features.matrix):
         mail_fraction = row[1]  # static_mail
         home_fraction = row[0]  # static_home

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import BackscatterPipeline, LabeledSet, get_dataset
+from repro import LabeledSet, SensorConfig, SensorEngine, get_dataset
 from repro.netmodel import ip_to_str
 
 def main() -> None:
@@ -20,12 +20,12 @@ def main() -> None:
     print(f"dataset {dataset.spec.name}: {len(dataset.sensor.log):,} reverse "
           f"queries at {dataset.spec.vantage.name}")
 
-    # 2. Collect + select + featurize (dedup, >=20 unique queriers, the
-    #    22 static/dynamic features of § III-C).
-    pipeline = BackscatterPipeline(dataset.directory(), min_queriers=10)
-    features = pipeline.features_from_log(
-        dataset.sensor, 0.0, dataset.duration_seconds
-    )
+    # 2. The staged engine: ingest → window/dedup → select → featurize →
+    #    classify (>=20 unique queriers at Internet scale, the 22
+    #    static/dynamic features of § III-C).
+    engine = SensorEngine(dataset.directory(), SensorConfig(min_queriers=10))
+    window = engine.collect(dataset.sensor.log, 0.0, dataset.duration_seconds)
+    features = engine.featurize(window)
     print(f"analyzable originators: {len(features)}")
 
     # 3. Train on labeled examples.  Here we label from the simulation's
@@ -35,10 +35,10 @@ def main() -> None:
     labeled = LabeledSet.from_pairs(
         (int(o), truth[int(o)]) for o in features.originators if int(o) in truth
     )
-    pipeline.fit(features, labeled)
+    engine.fit(features, labeled)
 
     # 4. Classify and report the biggest footprints.
-    verdicts = sorted(pipeline.classify(features), key=lambda v: -v.footprint)
+    verdicts = sorted(engine.classify(features), key=lambda v: -v.footprint)
     print(f"\n{'originator':<16} {'queriers':>8}  {'class':<12} true")
     for verdict in verdicts[:15]:
         print(
@@ -49,6 +49,10 @@ def main() -> None:
         1 for v in verdicts if truth.get(v.originator) == v.app_class
     )
     print(f"\nagreement with ground truth: {correct}/{len(verdicts)}")
+
+    # 5. Where did the volume and the time go?  Every stage accounts for
+    #    itself (items in/out, drops, wall time).
+    print(f"\n{engine.format_accounting()}")
 
 
 if __name__ == "__main__":

@@ -48,6 +48,8 @@ from repro.sensor import (
     BackscatterPipeline,
     LabeledExample,
     LabeledSet,
+    SensorConfig,
+    SensorEngine,
     WorldDirectory,
     classify_name,
     extract_features,
@@ -72,6 +74,8 @@ __all__ = [
     "BackscatterPipeline",
     "LabeledExample",
     "LabeledSet",
+    "SensorConfig",
+    "SensorEngine",
     "WorldDirectory",
     "classify_name",
     "extract_features",

@@ -27,7 +27,7 @@ from repro.dnssim.authority import Authority, AuthorityLevel
 from repro.dnssim.hierarchy import DnsHierarchy
 from repro.dnssim.resolver import ResolverConfig
 from repro.netmodel.world import World
-from repro.sensor.collection import collect_window
+from repro.sensor.engine import SensorEngine
 
 __all__ = ["EvasionTrial", "spreading_experiment", "QminTrial", "qmin_experiment"]
 
@@ -101,8 +101,8 @@ def spreading_experiment(
             engine.add(campaign)
             originators.append(campaign.originator)
         engine.run(0.0, duration_days * SECONDS_PER_DAY)
-        window = collect_window(
-            list(sensor.log), 0.0, duration_days * SECONDS_PER_DAY
+        window = SensorEngine().collect(
+            sensor.log, 0.0, duration_days * SECONDS_PER_DAY
         )
         footprints = [
             window.observations[o].footprint if o in window.observations else 0
@@ -172,8 +172,8 @@ def qmin_experiment(
                 )
             )
         engine.run(0.0, duration_days * SECONDS_PER_DAY)
-        window = collect_window(
-            list(sensor.log), 0.0, duration_days * SECONDS_PER_DAY
+        window = SensorEngine().collect(
+            sensor.log, 0.0, duration_days * SECONDS_PER_DAY
         )
         analyzable = sum(
             1 for o in window.observations.values() if o.footprint >= threshold

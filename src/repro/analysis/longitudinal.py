@@ -10,16 +10,14 @@ a pipeline and classifies every window.  All longitudinal results
 
 from __future__ import annotations
 
-import bisect
-
 from dataclasses import dataclass, field
 
 from repro.datasets.generate import GeneratedDataset
 from repro.groundtruth.labeling import build_labeled_set
-from repro.sensor.collection import ObservationWindow, collect_window
+from repro.sensor.collection import ObservationWindow
 from repro.sensor.curation import LabeledSet
-from repro.sensor.features import FeatureSet, extract_features
-from repro.sensor.pipeline import BackscatterPipeline
+from repro.sensor.engine import SensorConfig, SensorEngine
+from repro.sensor.features import FeatureSet
 from repro.sensor.selection import rank_by_footprint
 
 __all__ = ["AnalysisWindow", "WindowedAnalysis", "slice_windows", "analyze_dataset"]
@@ -70,38 +68,37 @@ def slice_windows(
     window_days: float,
     min_queriers: int = 20,
 ) -> list[AnalysisWindow]:
-    """Cut the sensor log into consecutive windows with features."""
+    """Cut the sensor log into consecutive windows with features.
+
+    One staged :class:`~repro.sensor.engine.SensorEngine` pass: the
+    engine emits the windows (single canonical dedup/windowing path) and
+    featurizes each; this module only re-frames them in days.
+    """
     if window_days <= 0:
         raise ValueError("window_days must be positive")
-    directory = dataset.directory()
-    entries = list(dataset.sensor.log)
-    # Authority logs are appended in time order; bisect window boundaries
-    # instead of rescanning the whole log for every window.
-    timestamps = [entry.timestamp for entry in entries]
-    total_days = dataset.spec.duration_days
-    windows: list[AnalysisWindow] = []
-    index = 0
-    day = 0.0
-    while day < total_days:
-        end_day = min(day + window_days, total_days)
-        lo = bisect.bisect_left(timestamps, day * SECONDS_PER_DAY)
-        hi = bisect.bisect_left(timestamps, end_day * SECONDS_PER_DAY)
-        observations = collect_window(
-            entries[lo:hi], day * SECONDS_PER_DAY, end_day * SECONDS_PER_DAY
+    engine = SensorEngine(
+        dataset.directory(),
+        SensorConfig(
+            window_seconds=window_days * SECONDS_PER_DAY,
+            min_queriers=min_queriers,
+        ),
+    )
+    sensed = engine.process(
+        dataset.sensor.log,
+        0.0,
+        dataset.spec.duration_days * SECONDS_PER_DAY,
+        classify=False,
+    )
+    return [
+        AnalysisWindow(
+            index=index,
+            start_day=result.window.start / SECONDS_PER_DAY,
+            end_day=result.window.end / SECONDS_PER_DAY,
+            observations=result.window,
+            features=result.features,
         )
-        features = extract_features(observations, directory, min_queriers)
-        windows.append(
-            AnalysisWindow(
-                index=index,
-                start_day=day,
-                end_day=end_day,
-                observations=observations,
-                features=features,
-            )
-        )
-        index += 1
-        day = end_day
-    return windows
+        for index, result in enumerate(sensed)
+    ]
 
 
 def curate_from_window(
@@ -157,16 +154,19 @@ def analyze_dataset(
         dataset=dataset, window_days=window_days, windows=windows, labeled=labeled
     )
     if classify and len(labeled):
-        pipeline = BackscatterPipeline(
+        engine = SensorEngine(
             dataset.directory(),
-            majority_runs=majority_runs,
-            min_queriers=min_queriers,
-            seed=dataset.spec.seed + 99,
+            SensorConfig(
+                window_seconds=window_days * SECONDS_PER_DAY,
+                min_queriers=min_queriers,
+                majority_runs=majority_runs,
+                seed=dataset.spec.seed + 99,
+            ),
         )
         for window in windows:
             present = labeled.restrict_to(window.originators())
             if len(present) < 8 or len(present.classes_present()) < 2:
                 continue
-            pipeline.fit(window.features, present)
-            window.classification = pipeline.classify_map(window.features)
+            engine.fit(window.features, present)
+            window.classification = engine.classify_map(window.features)
     return analysis

@@ -26,7 +26,7 @@ from repro.dnssim.authority import Authority, AuthorityLevel
 from repro.dnssim.hierarchy import DnsHierarchy
 from repro.dnssim.resolver import ResolverConfig
 from repro.netmodel.world import World
-from repro.sensor.collection import collect_window
+from repro.sensor.engine import SensorConfig, SensorEngine
 
 __all__ = ["RetiredService", "RetirementStudy", "retirement_experiment"]
 
@@ -130,17 +130,17 @@ def retirement_experiment(
         if originator is not None:
             services.append((originator, app_class))
     engine.run(0.0, duration_days * SECONDS_PER_DAY)
-    entries = list(sensor.log)
     results: list[RetiredService] = []
     n_weeks = int(np.ceil(duration_days / 7.0))
+    # One staged pass: weekly windows over the whole log (per-pair dedup
+    # is independent across originators, so this matches the old
+    # per-originator slicing exactly — in a single traversal).
+    weekly = SensorEngine(
+        config=SensorConfig(window_seconds=7 * SECONDS_PER_DAY)
+    ).windows(sensor.log, 0.0, n_weeks * 7 * SECONDS_PER_DAY)
     for originator, app_class in services:
         footprints = []
-        for week in range(n_weeks):
-            window = collect_window(
-                [e for e in entries if e.originator == originator],
-                week * 7 * SECONDS_PER_DAY,
-                (week + 1) * 7 * SECONDS_PER_DAY,
-            )
+        for window in weekly:
             observation = window.observations.get(originator)
             footprints.append(observation.footprint if observation else 0)
         results.append(

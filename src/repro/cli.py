@@ -59,7 +59,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.datasets import read_directory, read_log
-    from repro.sensor import BackscatterPipeline, LabeledSet, collect_window, extract_features
+    from repro.sensor import LabeledSet, SensorConfig, SensorEngine
 
     entries = read_log(args.log)
     if not entries:
@@ -68,23 +68,82 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     directory = read_directory(args.directory)
     start = entries[0].timestamp if args.start is None else args.start
     end = entries[-1].timestamp + 1.0 if args.end is None else args.end
-    window = collect_window(entries, start, end)
-    features = extract_features(window, directory, args.min_queriers)
-    print(f"{len(window)} originators observed, {len(features)} analyzable")
     raw_labels = json.loads(Path(args.labels).read_text())
     labeled = LabeledSet.from_pairs(
         (str_to_ip(addr), app_class) for addr, app_class in raw_labels.items()
     )
+
+    # Train the classify stage on the full span (one batch window).
+    trainer = SensorEngine(
+        directory,
+        SensorConfig(
+            window_seconds=end - start, origin=start, min_queriers=args.min_queriers
+        ),
+    )
+    window = trainer.collect(entries, start, end)
+    features = trainer.featurize(window)
+    print(f"{len(window)} originators observed, {len(features)} analyzable")
     present = labeled.restrict_to({int(o) for o in features.originators})
     if len(present) < 4:
         print("too few labeled originators appear in the log", file=sys.stderr)
         return 1
-    pipeline = BackscatterPipeline(directory, min_queriers=args.min_queriers)
-    pipeline.fit(features, present)
-    verdicts = sorted(pipeline.classify(features), key=lambda v: -v.footprint)
+    trainer.fit(features, present)
+
+    if args.stream:
+        return _classify_stream(args, trainer, entries, start, end)
+
+    verdicts = sorted(trainer.classify(features), key=lambda v: -v.footprint)
     print(f"{'originator':<16} {'queriers':>8}  class")
     for verdict in verdicts[: args.top]:
         print(f"{ip_to_str(verdict.originator):<16} {verdict.footprint:>8}  {verdict.app_class}")
+    if args.stats:
+        print()
+        print(trainer.format_accounting())
+    return 0
+
+
+def _classify_stream(
+    args: argparse.Namespace, trainer, entries, start: float, end: float
+) -> int:
+    """Replay the log through the streaming path, window by window."""
+    from repro.sensor import SensorConfig, SensorEngine
+
+    if args.window <= 0:
+        print("--window must be positive", file=sys.stderr)
+        return 1
+    engine = SensorEngine(
+        trainer.directory,
+        SensorConfig(
+            window_seconds=args.window,
+            origin=start,
+            min_queriers=args.min_queriers,
+        ),
+    )
+    # Reuse the span-trained classify stage.
+    engine.fit_from(trainer)
+
+    def report(sensed) -> None:
+        window = sensed.window
+        verdicts = sorted(sensed.verdicts, key=lambda v: -v.footprint)
+        print(
+            f"window [{window.start:.0f}, {window.end:.0f}): "
+            f"{len(window)} originators, {len(sensed.features)} analyzable"
+        )
+        for verdict in verdicts[: args.top]:
+            print(
+                f"  {ip_to_str(verdict.originator):<16} "
+                f"{verdict.footprint:>8}  {verdict.app_class}"
+            )
+
+    chunk = max(1, args.chunk)
+    for offset in range(0, len(entries), chunk):
+        engine.ingest_many(entries[offset : offset + chunk])
+        for sensed in engine.poll():
+            report(sensed)
+    for sensed in engine.finish():
+        report(sensed)
+    print()
+    print(engine.format_accounting())
     return 0
 
 
@@ -128,6 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--end", type=float, default=None)
     classify.add_argument("--min-queriers", type=int, default=20)
     classify.add_argument("--top", type=int, default=30, help="rows to print")
+    classify.add_argument(
+        "--stream",
+        action="store_true",
+        help="replay the log through the streaming engine and print "
+        "per-window verdicts plus stage accounting",
+    )
+    classify.add_argument(
+        "--window",
+        type=float,
+        default=86400.0,
+        help="streaming window interval in seconds (with --stream)",
+    )
+    classify.add_argument(
+        "--chunk",
+        type=int,
+        default=5000,
+        help="entries fed to the engine per chunk (with --stream)",
+    )
+    classify.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage engine accounting after classifying",
+    )
     classify.set_defaults(func=_cmd_classify)
 
     figures = commands.add_parser("figures", help="render paper figures as SVG")

@@ -16,10 +16,14 @@ from repro.analysis.longitudinal import WindowedAnalysis, analyze_dataset
 from repro.datasets.generate import GeneratedDataset, get_dataset
 from repro.datasets.specs import spec_for
 from repro.ml.validation import LabelEncoder
-from repro.sensor.pipeline import BackscatterPipeline
+from repro.sensor.collection import ObservationWindow
+from repro.sensor.curation import LabeledSet
+from repro.sensor.engine import SensorConfig, SensorEngine
+from repro.sensor.features import FeatureSet
 
 __all__ = [
     "LabeledFeatures",
+    "sensor_config",
     "labeled_features",
     "windowed",
     "format_rows",
@@ -66,6 +70,24 @@ _FEATURE_CACHE: dict[tuple[str, str], LabeledFeatures] = {}
 _WINDOW_CACHE: dict[tuple[str, str], WindowedAnalysis] = {}
 
 
+def sensor_config(name: str, preset: str = "default", **overrides) -> SensorConfig:
+    """The per-dataset sensor deployment, as one :class:`SensorConfig`.
+
+    Gathers the per-vantage knobs that § III-B assigns per dataset —
+    window length d and the (scaled) analyzability bar — which used to
+    be repeated as loose kwargs by every cache-builder here.
+    """
+    spec = spec_for(name, preset)
+    # One observation interval: the whole dataset for the DITL captures,
+    # d = 7 days (1 for B-multi-year) for the long ones.
+    window_days = min(spec.duration_days, WINDOW_DAYS.get(name, 7.0))
+    config = SensorConfig(
+        window_seconds=window_days * SECONDS_PER_DAY,
+        min_queriers=MIN_QUERIERS.get(name, 20),
+    )
+    return config.replaced(**overrides) if overrides else config
+
+
 def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:
     """Features of every analyzable originator, labeled with true classes.
 
@@ -77,16 +99,11 @@ def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:
     if key in _FEATURE_CACHE:
         return _FEATURE_CACHE[key]
     dataset = get_dataset(name, preset)
-    pipeline = BackscatterPipeline(
-        dataset.directory(), min_queriers=MIN_QUERIERS.get(name, 20)
+    engine = SensorEngine(dataset.directory(), sensor_config(name, preset))
+    sensed = engine.process(
+        dataset.sensor.log, 0.0, engine.config.window_seconds, classify=False
     )
-    # Feature vectors cover one observation interval: the whole dataset
-    # for the DITL captures, d = 7 days for the long sampled one
-    # (§ III-B's per-dataset d).
-    span_days = min(dataset.spec.duration_days, WINDOW_DAYS.get(name, 7.0))
-    features = pipeline.features_from_log(
-        dataset.sensor, 0.0, span_days * SECONDS_PER_DAY
-    )
+    features = sensed[0].features
     truth = dataset.true_classes()
     keep = np.array([int(o) in truth for o in features.originators], dtype=bool)
     names = [truth[int(o)] for o in features.originators[keep]]
@@ -109,14 +126,15 @@ def windowed(name: str, preset: str = "default") -> WindowedAnalysis:
     if key in _WINDOW_CACHE:
         return _WINDOW_CACHE[key]
     dataset = get_dataset(name, preset)
-    window_days = WINDOW_DAYS.get(name, 7.0)
+    config = sensor_config(name, preset)
+    window_days = config.window_days
     curation = CURATION_WINDOWS.get(name, (0,))
     total_windows = max(1, int(spec_for(name, preset).duration_days // window_days))
     curation = tuple(min(c, total_windows - 1) for c in curation)
     analysis = analyze_dataset(
         dataset,
         window_days=window_days,
-        min_queriers=MIN_QUERIERS.get(name, 20),
+        min_queriers=config.min_queriers,
         curation_windows=curation,
         per_class_cap=60,
         # Figs 5-7 (B-multi-year) only need features + the labeled set;
@@ -132,9 +150,9 @@ class ClassifiedDataset:
     """One short dataset fully classified: the Figs 10 / Tables V inputs."""
 
     dataset: GeneratedDataset
-    window: object  # ObservationWindow
-    features: object  # FeatureSet
-    labeled: object  # LabeledSet
+    window: ObservationWindow
+    features: FeatureSet
+    labeled: LabeledSet
     classification: dict[int, str]
 
 
@@ -155,23 +173,17 @@ def classified(name: str, preset: str = "default") -> ClassifiedDataset:
     dataset = get_dataset(name, preset)
     # One window spanning the whole dataset (or the first week for the
     # 9-month sampled dataset, matching its d = 7 days).
-    window_days = min(dataset.spec.duration_days, 7.0)
-    min_queriers = MIN_QUERIERS.get(name, 20)
-    window = slice_windows(dataset, window_days, min_queriers)[0]
+    config = sensor_config(name, preset, majority_runs=5, seed=dataset.spec.seed + 5)
+    window = slice_windows(dataset, config.window_days, config.min_queriers)[0]
     labeled = curate_from_window(
-        dataset, window, per_class_cap=140, min_queriers=min_queriers
+        dataset, window, per_class_cap=140, min_queriers=config.min_queriers
     )
-    pipeline = BackscatterPipeline(
-        dataset.directory(),
-        majority_runs=5,
-        min_queriers=min_queriers,
-        seed=dataset.spec.seed + 5,
-    )
+    engine = SensorEngine(dataset.directory(), config)
     classification: dict[int, str] = {}
     present = labeled.restrict_to(window.originators())
     if len(present) >= 8 and len(present.classes_present()) >= 2:
-        pipeline.fit(window.features, present)
-        classification = pipeline.classify_map(window.features)
+        engine.fit(window.features, present)
+        classification = engine.classify_map(window.features)
     bundle = ClassifiedDataset(
         dataset=dataset,
         window=window.observations,

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.analysis.footprint import ccdf, footprint_sizes
 from repro.datasets.generate import get_dataset
-from repro.sensor.collection import collect_window
+from repro.sensor.engine import SensorEngine
 
 __all__ = ["FootprintCurve", "run", "format_table", "tail_index"]
 
@@ -63,7 +63,7 @@ def run(
         # For the long sampled dataset the paper uses d = 1 week; use the
         # first week so footprints are comparable with the DITL curves.
         end = min(dataset.duration_seconds, 7 * 86400.0)
-        window = collect_window(list(dataset.sensor.log), 0.0, end)
+        window = SensorEngine().collect(dataset.sensor.log, 0.0, end)
         sizes = footprint_sizes(window)
         x, survival = ccdf(sizes)
         curves.append(FootprintCurve(dataset=name, sizes=sizes, x=x, survival=survival))

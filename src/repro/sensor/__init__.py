@@ -24,6 +24,13 @@ from repro.sensor.directory import (
     StaticDirectory,
     WorldDirectory,
 )
+from repro.sensor.engine import (
+    STAGE_NAMES,
+    SensedWindow,
+    SensorConfig,
+    SensorEngine,
+    StageStats,
+)
 from repro.sensor.dynamic import (
     DYNAMIC_FEATURE_NAMES,
     PERIOD_SECONDS,
@@ -100,6 +107,11 @@ __all__ = [
     "BackscatterPipeline",
     "ClassifiedOriginator",
     "default_forest_factory",
+    "STAGE_NAMES",
+    "SensedWindow",
+    "SensorConfig",
+    "SensorEngine",
+    "StageStats",
     "WindowReport",
     "build_report",
     "render_report",

@@ -116,16 +116,34 @@ def collect_window(
     """Build an :class:`ObservationWindow` from raw log entries.
 
     Filters to ``start <= t < end``, dedups, then groups by originator.
+
+    This is a thin batch adapter over the canonical streaming
+    implementation (:class:`repro.sensor.streaming.StreamingCollector`):
+    the whole span is treated as a single observation window, so dedup
+    semantics are defined exactly once.
     """
+    # Local import: streaming.py depends on this module's value types.
+    from repro.sensor.streaming import StreamingCollector
+
     if end <= start:
         raise ValueError("end must be after start")
-    in_range = [e for e in entries if start <= e.timestamp < end]
-    deduped = dedup_entries(in_range, dedup_window)
-    window = ObservationWindow(start=start, end=end)
-    for entry in deduped:
-        observation = window.observations.get(entry.originator)
-        if observation is None:
-            observation = OriginatorObservation(originator=entry.originator)
-            window.observations[entry.originator] = observation
-        observation.add(entry.timestamp, entry.querier)
+    collector = StreamingCollector(
+        window_seconds=end - start,
+        origin=start,
+        dedup_window=dedup_window,
+        reorder_slack=0.0,
+    )
+    previous_ts = float("-inf")
+    for entry in entries:
+        if not start <= entry.timestamp < end:
+            continue
+        if entry.timestamp < previous_ts:
+            raise ValueError("entries are not time-ordered")
+        previous_ts = entry.timestamp
+        collector.ingest(entry)
+    emitted = collector.flush()
+    if not emitted:
+        return ObservationWindow(start=start, end=end)
+    window = emitted[0]
+    window.end = end  # a span shorter than window_seconds keeps its bound
     return window

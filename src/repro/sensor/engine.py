@@ -1,0 +1,500 @@
+"""The staged sensing engine: one canonical ingestion path (Figure 2).
+
+The paper's sensor is a single conceptual pipeline — authority log →
+30 s dedup + windowing → analyzable-originator selection → static/
+dynamic features → classifier — and this module is where that pipeline
+lives.  Everything the repo senses (the CLI, the experiment harness, the
+longitudinal analyses, the examples) routes through here, in batch or
+streaming form, so sensing semantics are defined exactly once.
+
+Stages, mapped to the paper:
+
+========== ============================================================
+ingest     § III-A — accept (timestamp, querier, originator) tuples,
+           validate ordering / drop strictly-late arrivals
+window     § III-A/B — 30 s per-(querier, originator) dedup + grouping
+           into observation intervals (:class:`StreamingCollector` is
+           the single implementation; batch calls adapt onto it)
+select     § III-B — keep analyzable originators (>= ``min_queriers``
+           unique queriers)
+featurize  § III-C/D — the 14 static + 8 dynamic features per selected
+           originator
+classify   § III-D/E — majority-vote classification with the configured
+           learner over a curated labeled set
+========== ============================================================
+
+Every stage records :class:`StageStats` (items in/out, dropped, wall
+time), so an engine run can report exactly where volume and time went —
+the baseline that later sharding/batching/caching PRs measure against.
+
+Configuration that used to be scattered across call sites (window
+length, dedup horizon, reorder slack, analyzability threshold, majority
+runs, classifier factory) is gathered into one frozen
+:class:`SensorConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.dnssim.message import QueryLogEntry
+from repro.ml.forest import ForestConfig, RandomForestClassifier
+from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
+from repro.sensor.collection import DEDUP_WINDOW_SECONDS, ObservationWindow
+from repro.sensor.curation import LabeledSet
+from repro.sensor.directory import QuerierDirectory
+from repro.sensor.features import FeatureSet, features_from_selected
+from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
+from repro.sensor.streaming import StreamingCollector, StreamingStats
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "STAGE_NAMES",
+    "SensorConfig",
+    "StageStats",
+    "SensedWindow",
+    "SensorEngine",
+    "ClassifiedOriginator",
+    "default_forest_factory",
+]
+
+SECONDS_PER_DAY = 86400.0
+
+STAGE_NAMES: tuple[str, ...] = ("ingest", "window", "select", "featurize", "classify")
+
+
+def default_forest_factory(seed: int) -> RandomForestClassifier:
+    """The paper's preferred classifier (RF wins Table III)."""
+    return RandomForestClassifier(ForestConfig(n_trees=60), seed=seed)
+
+
+@dataclass(frozen=True, slots=True)
+class SensorConfig:
+    """Everything that parameterizes one sensor deployment, in one place.
+
+    Previously these knobs were repeated as loose kwargs and module
+    constants across the CLI, the experiment cache-builders, and the
+    longitudinal analyses; a frozen config makes a deployment's
+    semantics explicit and hashable-by-eye.
+    """
+
+    window_seconds: float = 7 * SECONDS_PER_DAY
+    """Observation interval length (§ III-B's d; the paper uses 1-7 days)."""
+    origin: float = 0.0
+    """Timestamp where window 0 begins."""
+    dedup_window: float = DEDUP_WINDOW_SECONDS
+    """Per-(querier, originator) duplicate suppression horizon (§ III-A)."""
+    reorder_slack: float = 2.0
+    """Accepted input disorder; later arrivals are dropped as late."""
+    min_queriers: int = ANALYZABLE_THRESHOLD
+    """Analyzability threshold (§ III-B; 20 at Internet scale)."""
+    majority_runs: int = 10
+    """Stochastic-classifier reruns per prediction (§ III-D; paper uses 10)."""
+    classifier_factory: Callable[[int], Classifier] = default_forest_factory
+    """Builds a classifier from a seed; defaults to the paper's RF."""
+    seed: int = 0
+    """Base seed for the majority-vote classifier runs."""
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.dedup_window < 0:
+            raise ValueError("dedup_window must be non-negative")
+        if self.reorder_slack < 0:
+            raise ValueError("reorder_slack must be non-negative")
+        if self.min_queriers < 1:
+            raise ValueError("min_queriers must be positive")
+        if self.majority_runs < 1:
+            raise ValueError("majority_runs must be positive")
+
+    @property
+    def window_days(self) -> float:
+        return self.window_seconds / SECONDS_PER_DAY
+
+    def replaced(self, **overrides: object) -> "SensorConfig":
+        """A copy with the given fields overridden (validated again)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(slots=True)
+class StageStats:
+    """Accounting for one engine stage."""
+
+    name: str
+    items_in: int = 0
+    items_out: int = 0
+    dropped: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifiedOriginator:
+    """One classify-stage verdict."""
+
+    originator: int
+    app_class: str
+    footprint: int
+
+
+@dataclass(slots=True)
+class SensedWindow:
+    """One observation interval after every engine stage that applies."""
+
+    window: ObservationWindow
+    features: FeatureSet | None = None
+    verdicts: list[ClassifiedOriginator] = field(default_factory=list)
+
+    @property
+    def classification(self) -> dict[int, str]:
+        return {v.originator: v.app_class for v in self.verdicts}
+
+
+class SensorEngine:
+    """Staged sensor: ingest → window/dedup → select → featurize → classify.
+
+    One engine instance is one sensor deployment: a
+    :class:`QuerierDirectory` (metadata for the featurize stage; may be
+    omitted when only windowing is needed), a :class:`SensorConfig`, and
+    — after :meth:`fit` — a trained classify stage.
+
+    Batch and streaming are the same pipeline.  Batch calls
+    (:meth:`process`, :meth:`windows`, :meth:`collect`) run a whole
+    time-ordered log through a fresh collector; streaming calls
+    (:meth:`ingest`, :meth:`poll`, :meth:`finish`) feed a persistent one
+    and hand back windows as the watermark closes them.  Both paths use
+    :class:`~repro.sensor.streaming.StreamingCollector` as the single
+    windowing/dedup implementation and record per-stage
+    :class:`StageStats` (see :meth:`accounting`).
+    """
+
+    def __init__(
+        self,
+        directory: QuerierDirectory | None = None,
+        config: SensorConfig | None = None,
+    ) -> None:
+        self.directory = directory
+        self.config = config or SensorConfig()
+        self.stats: dict[str, StageStats] = {
+            name: StageStats(name) for name in STAGE_NAMES
+        }
+        self.encoder = LabelEncoder()
+        self._train_X: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
+        self._collector: StreamingCollector | None = None
+        self._absorbed = StreamingStats()
+
+    # -- ingest + window/dedup (streaming) ------------------------------
+
+    @property
+    def collector(self) -> StreamingCollector:
+        """The persistent streaming collector (created on first use)."""
+        if self._collector is None:
+            self._collector = self._new_collector(self.config.origin)
+        return self._collector
+
+    def _new_collector(self, origin: float) -> StreamingCollector:
+        return StreamingCollector(
+            window_seconds=self.config.window_seconds,
+            origin=origin,
+            dedup_window=self.config.dedup_window,
+            reorder_slack=self.config.reorder_slack,
+        )
+
+    def ingest(self, entry: QueryLogEntry) -> None:
+        """Feed one live entry (streaming path)."""
+        started = time.perf_counter()
+        self.collector.ingest(entry)
+        self.stats["window"].seconds += time.perf_counter() - started
+
+    def ingest_many(self, entries: Iterable[QueryLogEntry]) -> None:
+        """Feed a chunk of live entries (streaming path)."""
+        started = time.perf_counter()
+        self.collector.ingest_many(entries)
+        self.stats["window"].seconds += time.perf_counter() - started
+
+    def poll(self, classify: bool | None = None) -> list[SensedWindow]:
+        """Windows the watermark has closed since the last poll.
+
+        Each is run through select/featurize (and classify, when the
+        engine :attr:`is_fitted` or *classify* is forced true).
+        """
+        return [
+            self._sense(window, classify)
+            for window in self.collector.completed_windows()
+        ]
+
+    def finish(self, classify: bool | None = None) -> list[SensedWindow]:
+        """End of stream: flush still-open windows and sense them."""
+        started = time.perf_counter()
+        flushed = self.collector.flush()
+        self.stats["window"].seconds += time.perf_counter() - started
+        return [self._sense(window, classify) for window in flushed]
+
+    def _absorb_collector_stats(self) -> None:
+        """Fold collector counters into the ingest/window stage stats."""
+        current = self.collector.stats if self._collector is not None else None
+        if current is None:
+            return
+        delta = StreamingStats(
+            ingested=current.ingested - self._absorbed.ingested,
+            deduplicated=current.deduplicated - self._absorbed.deduplicated,
+            late_dropped=current.late_dropped - self._absorbed.late_dropped,
+            windows_emitted=current.windows_emitted - self._absorbed.windows_emitted,
+        )
+        self._absorbed = replace(current)
+        accepted = delta.ingested - delta.late_dropped
+        ingest = self.stats["ingest"]
+        ingest.items_in += delta.ingested
+        ingest.items_out += accepted
+        ingest.dropped += delta.late_dropped
+        window = self.stats["window"]
+        window.items_in += accepted
+        window.items_out += delta.windows_emitted
+        window.dropped += delta.deduplicated
+
+    # -- batch adapters -------------------------------------------------
+
+    def windows(
+        self,
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        start: float,
+        end: float,
+        window_seconds: float | None = None,
+    ) -> list[ObservationWindow]:
+        """Slice a time-ordered log into consecutive observation windows.
+
+        Covers ``[start, end)`` with windows of ``window_seconds``
+        (default: the config's), aligned to *start*; the final window is
+        clipped to *end* and intervals without traffic still yield empty
+        windows, so indexes are contiguous — what the longitudinal
+        analyses expect.  Out-of-order input raises (batch logs are
+        append-ordered); use the streaming path for live reordering.
+        """
+        if end <= start:
+            raise ValueError("end must be after start")
+        width = self.config.window_seconds if window_seconds is None else window_seconds
+        if width <= 0:
+            raise ValueError("window_seconds must be positive")
+        collector = StreamingCollector(
+            window_seconds=width,
+            origin=start,
+            dedup_window=self.config.dedup_window,
+            reorder_slack=0.0,
+        )
+        started = time.perf_counter()
+        ingested = dropped = 0
+        previous_ts = float("-inf")
+        for entry in entries:
+            ingested += 1
+            if not start <= entry.timestamp < end:
+                dropped += 1
+                continue
+            if entry.timestamp < previous_ts:
+                raise ValueError("entries are not time-ordered")
+            previous_ts = entry.timestamp
+            collector.ingest(entry)
+        emitted = {
+            self._index_of(window.start, start, width): window
+            for window in collector.flush()
+        }
+        windows: list[ObservationWindow] = []
+        index = 0
+        window_start = start
+        while window_start < end:
+            window_end = min(window_start + width, end)
+            window = emitted.get(
+                index, ObservationWindow(start=window_start, end=window_end)
+            )
+            window.end = window_end
+            windows.append(window)
+            index += 1
+            window_start = window_start + width
+        elapsed = time.perf_counter() - started
+        accepted = ingested - dropped
+        ingest = self.stats["ingest"]
+        ingest.items_in += ingested
+        ingest.items_out += accepted
+        ingest.dropped += dropped
+        stage = self.stats["window"]
+        stage.items_in += accepted
+        stage.items_out += len(windows)
+        stage.dropped += collector.stats.deduplicated
+        stage.seconds += elapsed
+        return windows
+
+    @staticmethod
+    def _index_of(window_start: float, origin: float, width: float) -> int:
+        return int(round((window_start - origin) / width))
+
+    def collect(
+        self,
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        start: float,
+        end: float,
+    ) -> ObservationWindow:
+        """One observation window spanning ``[start, end)`` (batch)."""
+        return self.windows(entries, start, end, window_seconds=end - start)[0]
+
+    # -- select + featurize ---------------------------------------------
+
+    def featurize(self, window: ObservationWindow) -> FeatureSet:
+        """Select analyzable originators and extract their features."""
+        if self.directory is None:
+            raise RuntimeError("engine has no querier directory to featurize with")
+        started = time.perf_counter()
+        selected = analyzable(window, self.config.min_queriers)
+        select = self.stats["select"]
+        select.items_in += len(window)
+        select.items_out += len(selected)
+        select.dropped += len(window) - len(selected)
+        select.seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        features = features_from_selected(window, selected, self.directory)
+        featurize = self.stats["featurize"]
+        featurize.items_in += len(selected)
+        featurize.items_out += len(features)
+        featurize.seconds += time.perf_counter() - started
+        return features
+
+    # -- classify -------------------------------------------------------
+
+    def training_data(
+        self, features: FeatureSet, labeled: LabeledSet
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Feature rows and encoded labels for labeled originators present."""
+        rows: list[np.ndarray] = []
+        labels: list[str] = []
+        used: list[int] = []
+        for example in labeled:
+            row = features.row_of(example.originator)
+            if row is None:
+                continue
+            rows.append(row)
+            labels.append(example.app_class)
+            used.append(example.originator)
+        if not rows:
+            raise ValueError("no labeled originators appear in the features")
+        for name in labels:
+            self.encoder.add(name)
+        return np.stack(rows), self.encoder.encode(labels), used
+
+    def fit(self, features: FeatureSet, labeled: LabeledSet) -> "SensorEngine":
+        """Train the classify stage on the labeled originators present."""
+        X, y, _ = self.training_data(features, labeled)
+        self._train_X = X
+        self._train_y = y
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_X is not None
+
+    def fit_from(self, other: "SensorEngine") -> "SensorEngine":
+        """Adopt another engine's trained classify stage.
+
+        Lets a streaming deployment reuse a classifier trained over a
+        batch span (training data and label encoder are shared, not
+        copied).
+        """
+        if not other.is_fitted:
+            raise RuntimeError("source engine is not fitted")
+        self._train_X = other._train_X
+        self._train_y = other._train_y
+        self.encoder = other.encoder
+        return self
+
+    def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:
+        """Majority-vote classification of every originator in *features*."""
+        if self._train_X is None or self._train_y is None:
+            raise RuntimeError("engine is not fitted")
+        started = time.perf_counter()
+        stage = self.stats["classify"]
+        stage.items_in += len(features)
+        if len(features) == 0:
+            stage.seconds += time.perf_counter() - started
+            return []
+        votes = majority_vote_predict(
+            self.config.classifier_factory,
+            self._train_X,
+            self._train_y,
+            features.matrix,
+            runs=self.config.majority_runs,
+            seed=self.config.seed,
+        )
+        names = self.encoder.decode(votes)
+        verdicts = [
+            ClassifiedOriginator(
+                originator=int(features.originators[i]),
+                app_class=names[i],
+                footprint=int(features.footprints[i]),
+            )
+            for i in range(len(features))
+        ]
+        stage.items_out += len(verdicts)
+        stage.seconds += time.perf_counter() - started
+        return verdicts
+
+    def classify_map(self, features: FeatureSet) -> dict[int, str]:
+        """Classification as an originator → class mapping."""
+        return {c.originator: c.app_class for c in self.classify(features)}
+
+    # -- end to end -----------------------------------------------------
+
+    def _sense(
+        self, window: ObservationWindow, classify: bool | None = None
+    ) -> SensedWindow:
+        run_classify = self.is_fitted if classify is None else classify
+        sensed = SensedWindow(window=window)
+        if self.directory is not None:
+            sensed.features = self.featurize(window)
+            if run_classify:
+                sensed.verdicts = self.classify(sensed.features)
+        return sensed
+
+    def process(
+        self,
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        start: float,
+        end: float,
+        classify: bool | None = None,
+    ) -> list[SensedWindow]:
+        """Run a whole time-ordered log through every stage (batch).
+
+        Slices ``[start, end)`` into config-width windows and runs each
+        through select/featurize (and classify when fitted, or when
+        *classify* is forced true).
+        """
+        return [
+            self._sense(window, classify)
+            for window in self.windows(entries, start, end)
+        ]
+
+    # -- accounting -----------------------------------------------------
+
+    def accounting(self) -> list[StageStats]:
+        """Per-stage stats for everything this engine has processed."""
+        self._absorb_collector_stats()
+        return [self.stats[name] for name in STAGE_NAMES]
+
+    def format_accounting(self) -> str:
+        """The per-run accounting report, as an aligned text table."""
+        rows = self.accounting()
+        headers = ("stage", "in", "out", "dropped", "seconds")
+        table = [headers] + [
+            (s.name, f"{s.items_in:,}", f"{s.items_out:,}", f"{s.dropped:,}",
+             f"{s.seconds:.3f}")
+            for s in rows
+        ]
+        widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+        lines = []
+        for index, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

@@ -21,7 +21,13 @@ from repro.sensor.dynamic import (
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.static import STATIC_FEATURE_NAMES, static_features
 
-__all__ = ["FEATURE_NAMES", "FeatureSet", "feature_vector", "extract_features"]
+__all__ = [
+    "FEATURE_NAMES",
+    "FeatureSet",
+    "feature_vector",
+    "extract_features",
+    "features_from_selected",
+]
 
 FEATURE_NAMES: tuple[str, ...] = STATIC_FEATURE_NAMES + DYNAMIC_FEATURE_NAMES
 
@@ -37,23 +43,38 @@ class FeatureSet:
     context: WindowContext
     footprints: np.ndarray
     """Unique-querier counts, aligned with rows (for top-N slicing)."""
+    _row_index: dict[int, int] | None = None
+    """Lazy originator → row lookup (built once, O(1) thereafter)."""
 
     def __len__(self) -> int:
         return len(self.originators)
 
+    @property
+    def row_index(self) -> dict[int, int]:
+        """Originator → matrix-row mapping (one row per originator)."""
+        if self._row_index is None:
+            self._row_index = {
+                int(originator): row for row, originator in enumerate(self.originators)
+            }
+        return self._row_index
+
     def row_of(self, originator: int) -> np.ndarray | None:
         """The feature vector for one originator, or None if absent."""
-        hits = np.nonzero(self.originators == originator)[0]
-        return self.matrix[hits[0]] if len(hits) else None
+        row = self.row_index.get(int(originator))
+        return self.matrix[row] if row is not None else None
 
     def subset(self, originators: set[int]) -> "FeatureSet":
         """Rows restricted to the given originator addresses."""
-        mask = np.isin(self.originators, sorted(originators))
+        index = self.row_index
+        rows = np.array(
+            sorted(index[int(o)] for o in originators if int(o) in index),
+            dtype=np.intp,
+        )
         return FeatureSet(
-            originators=self.originators[mask],
-            matrix=self.matrix[mask],
+            originators=self.originators[rows],
+            matrix=self.matrix[rows],
             context=self.context,
-            footprints=self.footprints[mask],
+            footprints=self.footprints[rows],
         )
 
     def top(self, n: int) -> "FeatureSet":
@@ -81,13 +102,18 @@ def feature_vector(
     )
 
 
-def extract_features(
+def features_from_selected(
     window: ObservationWindow,
+    selected: list[OriginatorObservation],
     directory: QuerierDirectory,
-    min_queriers: int = ANALYZABLE_THRESHOLD,
 ) -> FeatureSet:
-    """Feature vectors for every analyzable originator in the window."""
-    selected = analyzable(window, min_queriers)
+    """Feature vectors for an already-selected set of originators.
+
+    The window context (rates, normalizers) is computed over the whole
+    window; *selected* only controls which rows are materialized.  This
+    is the featurize stage of :class:`repro.sensor.engine.SensorEngine`,
+    which performs selection separately so it can account for drops.
+    """
     context = WindowContext.from_window(window, directory)
     originators = np.array([o.originator for o in selected], dtype=np.int64)
     footprints = np.array([o.footprint for o in selected], dtype=np.int64)
@@ -101,3 +127,12 @@ def extract_features(
         context=context,
         footprints=footprints,
     )
+
+
+def extract_features(
+    window: ObservationWindow,
+    directory: QuerierDirectory,
+    min_queriers: int = ANALYZABLE_THRESHOLD,
+) -> FeatureSet:
+    """Feature vectors for every analyzable originator in the window."""
+    return features_from_selected(window, analyzable(window, min_queriers), directory)

@@ -1,46 +1,39 @@
-"""End-to-end backscatter classification pipeline (Figure 2 of the paper).
+"""Compatibility shim: the classic pipeline API over the staged engine.
 
-Glues the stages together: an authority's query log → observation window
-(dedup + grouping) → analyzable-originator feature vectors → trained
-classifier → application-class labels.  Non-deterministic classifiers are
-run several times with majority voting, per § III-D.
+:class:`BackscatterPipeline` predates :class:`repro.sensor.engine.SensorEngine`
+and is kept as a thin wrapper for existing callers and notebooks: it is
+exactly the engine's select/featurize/classify stages with the classic
+constructor signature.  New code should use the engine directly — it
+adds streaming ingestion, explicit windowing, and per-stage accounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.dnssim.authority import Authority
-from repro.ml.forest import ForestConfig, RandomForestClassifier
-from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
-from repro.sensor.collection import collect_window
+from repro.ml.validation import Classifier
 from repro.sensor.curation import LabeledSet
 from repro.sensor.directory import QuerierDirectory
-from repro.sensor.features import FeatureSet, extract_features
+from repro.sensor.engine import (
+    ClassifiedOriginator,
+    SensorConfig,
+    SensorEngine,
+    default_forest_factory,
+)
+from repro.sensor.features import FeatureSet
 from repro.sensor.selection import ANALYZABLE_THRESHOLD
 
 __all__ = ["ClassifiedOriginator", "BackscatterPipeline", "default_forest_factory"]
 
 
-@dataclass(frozen=True, slots=True)
-class ClassifiedOriginator:
-    """One pipeline verdict."""
-
-    originator: int
-    app_class: str
-    footprint: int
-
-
-def default_forest_factory(seed: int) -> RandomForestClassifier:
-    """The paper's preferred classifier (RF wins Table III)."""
-    return RandomForestClassifier(ForestConfig(n_trees=60), seed=seed)
-
-
 class BackscatterPipeline:
     """Trainable sensor: fit on labeled examples, classify observations.
+
+    Thin adapter over :class:`~repro.sensor.engine.SensorEngine`; see the
+    engine for the staged API and accounting.
 
     Parameters
     ----------
@@ -63,14 +56,41 @@ class BackscatterPipeline:
         min_queriers: int = ANALYZABLE_THRESHOLD,
         seed: int = 0,
     ) -> None:
-        self.directory = directory
-        self.factory = factory
-        self.majority_runs = majority_runs
-        self.min_queriers = min_queriers
-        self.seed = seed
-        self.encoder = LabelEncoder()
-        self._train_X: np.ndarray | None = None
-        self._train_y: np.ndarray | None = None
+        self.engine = SensorEngine(
+            directory,
+            SensorConfig(
+                min_queriers=min_queriers,
+                majority_runs=majority_runs,
+                classifier_factory=factory,
+                seed=seed,
+            ),
+        )
+
+    # -- classic attribute surface, delegated ---------------------------
+
+    @property
+    def directory(self) -> QuerierDirectory:
+        return self.engine.directory
+
+    @property
+    def factory(self) -> Callable[[int], Classifier]:
+        return self.engine.config.classifier_factory
+
+    @property
+    def majority_runs(self) -> int:
+        return self.engine.config.majority_runs
+
+    @property
+    def min_queriers(self) -> int:
+        return self.engine.config.min_queriers
+
+    @property
+    def seed(self) -> int:
+        return self.engine.config.seed
+
+    @property
+    def encoder(self):
+        return self.engine.encoder
 
     # ------------------------------------------------------------------
 
@@ -78,64 +98,29 @@ class BackscatterPipeline:
         self, authority: Authority, start: float, end: float
     ) -> FeatureSet:
         """Stage 1+2: window the log, dedup, select, extract features."""
-        window = collect_window(list(authority.log), start, end)
-        return extract_features(window, self.directory, self.min_queriers)
+        return self.engine.featurize(
+            self.engine.collect(list(authority.log), start, end)
+        )
 
     def training_data(
         self, features: FeatureSet, labeled: LabeledSet
     ) -> tuple[np.ndarray, np.ndarray, list[int]]:
         """Feature rows and encoded labels for labeled originators present."""
-        rows: list[np.ndarray] = []
-        labels: list[str] = []
-        used: list[int] = []
-        for example in labeled:
-            row = features.row_of(example.originator)
-            if row is None:
-                continue
-            rows.append(row)
-            labels.append(example.app_class)
-            used.append(example.originator)
-        if not rows:
-            raise ValueError("no labeled originators appear in the features")
-        for name in labels:
-            self.encoder.add(name)
-        return np.stack(rows), self.encoder.encode(labels), used
+        return self.engine.training_data(features, labeled)
 
     def fit(self, features: FeatureSet, labeled: LabeledSet) -> "BackscatterPipeline":
         """Train on the labeled originators present in *features*."""
-        X, y, _ = self.training_data(features, labeled)
-        self._train_X = X
-        self._train_y = y
+        self.engine.fit(features, labeled)
         return self
 
     @property
     def is_fitted(self) -> bool:
-        return self._train_X is not None
+        return self.engine.is_fitted
 
     def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:
         """Majority-vote classification of every originator in *features*."""
-        if self._train_X is None or self._train_y is None:
-            raise RuntimeError("pipeline is not fitted")
-        if len(features) == 0:
-            return []
-        votes = majority_vote_predict(
-            self.factory,
-            self._train_X,
-            self._train_y,
-            features.matrix,
-            runs=self.majority_runs,
-            seed=self.seed,
-        )
-        names = self.encoder.decode(votes)
-        return [
-            ClassifiedOriginator(
-                originator=int(features.originators[i]),
-                app_class=names[i],
-                footprint=int(features.footprints[i]),
-            )
-            for i in range(len(features))
-        ]
+        return self.engine.classify(features)
 
     def classify_map(self, features: FeatureSet) -> dict[int, str]:
         """Classification as an originator → class mapping."""
-        return {c.originator: c.app_class for c in self.classify(features)}
+        return self.engine.classify_map(features)

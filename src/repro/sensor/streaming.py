@@ -1,28 +1,40 @@
-"""Streaming backscatter collection: rolling windows over a live feed.
+"""Streaming backscatter collection: the canonical windowing + dedup.
 
-The batch pipeline (:mod:`repro.sensor.collection`) assumes the whole log
-is on disk.  A deployed sensor instead tails a query stream (dnstap
-socket, SIE channel) and wants per-interval results as soon as each
-interval closes.  :class:`StreamingCollector` ingests entries one at a
-time, performs the same 30 s per-(querier, originator) dedup online with
-bounded memory, and emits a finished
-:class:`~repro.sensor.collection.ObservationWindow` whenever the clock
-crosses a window boundary.
+This module is the **single** windowing/dedup implementation of the
+sensor.  The batch entry points (:func:`repro.sensor.collection.collect_window`
+and the batch side of :class:`repro.sensor.engine.SensorEngine`) are thin
+adapters over :class:`StreamingCollector`, so sensing semantics are
+defined exactly once, here:
 
-Guarantees:
+* **30 s dedup, scoped to the observation window** — repeats of the same
+  (querier, originator) pair within ``dedup_window`` seconds of the last
+  kept query are dropped (§ III-A's "eliminate duplicate queries from the
+  same querier in a 30 s window").  Dedup state resets at window
+  boundaries, so every :class:`~repro.sensor.collection.ObservationWindow`
+  is a pure function of its own slice of the log.  A burst that straddles
+  a boundary therefore starts a fresh dedup scope in the new window; the
+  edge effect is at most one extra kept query per pair per boundary,
+  negligible against day-to-week windows, and in exchange windows are
+  reproducible and shardable in isolation.
+* **bounded reordering** — entries may arrive up to ``reorder_slack``
+  seconds behind the newest-seen timestamp (network capture reorders
+  packets).  Accepted entries are buffered in a small timestamp-ordered
+  heap and only processed once the watermark (newest timestamp minus
+  slack) passes them, so the dedup/windowing core always sees a
+  time-ordered stream.  Input whose disorder is bounded by the slack
+  yields **identical** windows to a sorted batch pass; strictly-late
+  entries are counted and dropped rather than corrupting closed windows.
+* **bounded state** — dedup state lives per open window and is pruned as
+  the watermark advances, so memory is O(active pairs + buffered slack),
+  not O(log).
 
-* output equivalence — feeding a time-ordered log through the collector
-  yields exactly the windows :func:`repro.sensor.collection.collect_window`
-  would produce for the same boundaries (tested property);
-* bounded state — dedup state older than the dedup window is pruned as
-  time advances, so memory is O(active pairs), not O(log);
-* tolerance for slightly out-of-order input within a configurable slack
-  (network capture reorders packets by milliseconds), with strictly-late
-  entries counted and dropped rather than corrupting closed windows.
+These guarantees are enforced by the batch/streaming equivalence
+property tests in ``tests/test_engine.py``.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -57,13 +69,16 @@ class StreamingCollector:
     origin:
         Timestamp where window 0 begins.
     dedup_window:
-        Per-(querier, originator) duplicate suppression horizon.
+        Per-(querier, originator) duplicate suppression horizon.  Dedup
+        state is scoped to the observation window (see module docstring).
     reorder_slack:
         How far behind the newest-seen timestamp an entry may arrive and
-        still be accepted.  Entries later than this are dropped (counted
-        in ``stats.late_dropped``); windows are only emitted once the
-        clock passes their end by this slack, so accepted reordering can
-        never mutate an emitted window.
+        still be accepted.  Accepted entries are re-ordered internally,
+        so any input whose disorder is bounded by the slack produces the
+        same windows as sorted input.  Entries later than the slack are
+        dropped (counted in ``stats.late_dropped``); windows are only
+        emitted once the watermark passes their end, so accepted
+        reordering can never mutate an emitted window.
     on_window:
         Optional callback invoked with each completed window.
     """
@@ -88,6 +103,13 @@ class StreamingCollector:
         self.stats = StreamingStats()
         self._high_water = float("-inf")
         self._emitted_through = origin
+        # Reorder buffer: (timestamp, arrival seq, entry), popped in time
+        # order once the watermark passes the timestamp.
+        self._pending: list[tuple[float, int, QueryLogEntry]] = []
+        self._seq = 0
+        # Dedup state for the window currently being filled (processing
+        # is time-ordered, so only one window accumulates at a time).
+        self._dedup_index: int | None = None
         self._last_kept: dict[tuple[int, int], float] = {}
         self._open: dict[int, ObservationWindow] = {}
         self._ready: list[ObservationWindow] = []
@@ -108,7 +130,7 @@ class StreamingCollector:
         return window
 
     def ingest(self, entry: QueryLogEntry) -> None:
-        """Feed one entry; may close windows as the clock advances."""
+        """Feed one entry; may close windows as the watermark advances."""
         self.stats.ingested += 1
         if entry.timestamp < self.origin:
             self.stats.late_dropped += 1
@@ -118,40 +140,61 @@ class StreamingCollector:
             return
         if entry.timestamp > self._high_water:
             self._high_water = entry.timestamp
-        key = (entry.querier, entry.originator)
-        last = self._last_kept.get(key)
-        if last is not None and 0 <= entry.timestamp - last < self.dedup_window:
-            self.stats.deduplicated += 1
-            return
-        self._last_kept[key] = entry.timestamp
-        window = self._window_for(self._window_index(entry.timestamp))
-        observation = window.observations.get(entry.originator)
-        if observation is None:
-            observation = OriginatorObservation(originator=entry.originator)
-            window.observations[entry.originator] = observation
-        observation.add(entry.timestamp, entry.querier)
-        self._advance()
+        if self.reorder_slack == 0:
+            # Fast path: watermark == high water, the entry is released
+            # immediately — no buffering needed.
+            self._process(entry)
+        else:
+            heapq.heappush(self._pending, (entry.timestamp, self._seq, entry))
+            self._seq += 1
+        self._release(self._high_water - self.reorder_slack)
 
     def ingest_many(self, entries: Iterable[QueryLogEntry]) -> None:
         for entry in entries:
             self.ingest(entry)
 
-    def _advance(self) -> None:
-        """Emit windows whose end is safely behind the high-water mark."""
-        safe_through = self._high_water - self.reorder_slack
+    # ------------------------------------------------------------------
+
+    def _release(self, watermark: float) -> None:
+        """Process buffered entries up to *watermark*, then emit windows."""
+        while self._pending and self._pending[0][0] <= watermark:
+            self._process(heapq.heappop(self._pending)[2])
         for index in sorted(self._open):
             window = self._open[index]
-            if window.end <= safe_through:
+            if window.end <= watermark:
                 del self._open[index]
                 self._emit(window)
             else:
                 break
-        # Prune dedup state too old to suppress anything anymore.
-        horizon = safe_through - self.dedup_window
-        if self.stats.ingested % 1024 == 0 and horizon > 0:
+        # Periodically prune dedup state too old to suppress anything:
+        # every future processed entry has timestamp >= watermark, so a
+        # pair last kept before (watermark - dedup_window) is inert.
+        if self.stats.ingested % 1024 == 0 and self._last_kept:
+            horizon = watermark - self.dedup_window
             self._last_kept = {
                 key: ts for key, ts in self._last_kept.items() if ts >= horizon
             }
+
+    def _process(self, entry: QueryLogEntry) -> None:
+        """Dedup + group one entry.  Entries arrive here in time order."""
+        index = self._window_index(entry.timestamp)
+        if index != self._dedup_index:
+            # Dedup scope is the observation window: reset on entering a
+            # new one (time-ordered processing ⇒ indices never go back).
+            self._dedup_index = index
+            self._last_kept = {}
+        key = (entry.querier, entry.originator)
+        last = self._last_kept.get(key)
+        if last is not None and entry.timestamp - last < self.dedup_window:
+            self.stats.deduplicated += 1
+            return
+        self._last_kept[key] = entry.timestamp
+        window = self._window_for(index)
+        observation = window.observations.get(entry.originator)
+        if observation is None:
+            observation = OriginatorObservation(originator=entry.originator)
+            window.observations[entry.originator] = observation
+        observation.add(entry.timestamp, entry.querier)
 
     def _emit(self, window: ObservationWindow) -> None:
         self.stats.windows_emitted += 1
@@ -170,6 +213,7 @@ class StreamingCollector:
 
     def flush(self) -> list[ObservationWindow]:
         """Close and return every still-open window (end of stream)."""
+        self._release(float("inf"))
         remaining = [self._open[i] for i in sorted(self._open)]
         self._open.clear()
         for window in remaining:
@@ -179,6 +223,11 @@ class StreamingCollector:
     @property
     def pending_windows(self) -> int:
         return len(self._open)
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries buffered awaiting the watermark (reorder slack)."""
+        return len(self._pending)
 
     @property
     def dedup_state_size(self) -> int:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -124,23 +123,13 @@ class TestBatchEquivalence:
         streamed = {
             (w.start, w.end): w for w in collector.flush() if len(w)
         }
-        # Global-batch equivalence: the streamed windows match a batch
-        # pass that dedups globally and then slices by window boundary
-        # (streaming dedup state deliberately crosses boundaries too).
-        from repro.sensor.collection import dedup_entries
-
-        deduped = dedup_entries(entries)
-        expected: dict[tuple[float, float], dict[int, list[tuple[float, int]]]] = {}
-        for e in deduped:
-            index = int(e.timestamp // 250.0)
-            key = (index * 250.0, (index + 1) * 250.0)
-            expected.setdefault(key, {}).setdefault(e.originator, []).append(
-                (e.timestamp, e.querier)
-            )
-        assert set(streamed) == set(expected)
-        for key, per_originator in expected.items():
-            window = streamed[key]
-            for originator, queries in per_originator.items():
-                observation = window.observations[originator]
-                assert observation.query_count == len(queries)
-                assert observation.unique_queriers == frozenset(q for _, q in queries)
+        # Canonical semantics: each streamed window equals collect_window
+        # run on that window's boundaries (dedup state is scoped to the
+        # observation window — see sensor/streaming.py).
+        for (start, end), window in streamed.items():
+            batch = collect_window(entries, start, end)
+            assert set(window.observations) == set(batch.observations)
+            for originator, observation in window.observations.items():
+                expected = batch.observations[originator]
+                assert observation.timestamps == expected.timestamps
+                assert observation.queriers == expected.queriers
