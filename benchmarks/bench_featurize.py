@@ -1,0 +1,155 @@
+"""Featurization benchmark: serial vs. cached vs. parallel rows/s.
+
+Generates a B-long window (the paper's week-long BINY vantage), runs the
+featurize stage three ways, and writes ``BENCH_featurize.json``:
+
+* **serial** — the scalar reference path with no shared cache: every
+  call re-resolves its queriers through the directory, equivalent to the
+  pre-vectorization per-originator loop;
+* **cached** — :func:`features_from_selected` with ``workers=1``: one
+  window-scoped :class:`EnrichmentCache` plus vectorized array math;
+* **parallel** — the same with ``--workers`` processes (fork fan-out).
+
+Each mode reports rows/s from the best of ``--rounds`` runs, and the
+parallel matrix is checked bit-identical against the cached one.  Run
+from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_featurize.py --quick
+
+``--quick`` uses the tiny dataset preset so CI can smoke-test the
+harness in seconds; real trend numbers come from the default preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.generate import get_dataset
+from repro.experiments.common import sensor_config
+from repro.sensor.directory import EnrichmentCache
+from repro.sensor.dynamic import WindowContext
+from repro.sensor.engine import SensorEngine
+from repro.sensor.features import feature_vector, features_from_selected
+from repro.sensor.selection import analyzable
+
+
+def _best_of(rounds: int, run) -> tuple[float, object]:
+    """Minimum wall time over *rounds* calls (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="B-long", help="dataset name")
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=("default", "tiny"),
+        help="dataset preset (tiny = CI smoke scale)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorthand for --preset tiny --rounds 2"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    parser.add_argument("--rounds", type=int, default=3, help="best-of rounds per mode")
+    parser.add_argument(
+        "-o", "--output", default="BENCH_featurize.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.preset = "tiny"
+        args.rounds = min(args.rounds, 2)
+
+    print(f"generating {args.dataset} (preset={args.preset}) …", flush=True)
+    dataset = get_dataset(args.dataset, args.preset)
+    directory = dataset.directory()
+    config = sensor_config(args.dataset, args.preset)
+    engine = SensorEngine(directory, config)
+    window = engine.collect(dataset.sensor.log, 0.0, config.window_seconds)
+    selected = analyzable(window, config.min_queriers)
+    queriers: set[int] = set()
+    for observation in window.observations.values():
+        queriers |= observation.unique_queriers
+    print(
+        f"window: {len(window)} originators, {len(selected)} analyzable, "
+        f"{len(queriers)} distinct queriers",
+        flush=True,
+    )
+    if not selected:
+        print("no analyzable originators; nothing to benchmark", file=sys.stderr)
+        return 1
+
+    def run_serial() -> np.ndarray:
+        # Pre-vectorization equivalent: no shared cache, scalar per-row loop.
+        context = WindowContext.from_window(window, EnrichmentCache(directory))
+        return np.vstack(
+            [feature_vector(o, directory, context) for o in selected]
+        )
+
+    def run_cached() -> np.ndarray:
+        return features_from_selected(window, selected, directory, workers=1).matrix
+
+    def run_parallel() -> np.ndarray:
+        return features_from_selected(
+            window, selected, directory, workers=args.workers
+        ).matrix
+
+    rows = len(selected)
+    modes: dict[str, dict[str, float]] = {}
+    matrices: dict[str, np.ndarray] = {}
+    for name, run in (
+        ("serial", run_serial),
+        ("cached", run_cached),
+        ("parallel", run_parallel),
+    ):
+        seconds, matrix = _best_of(args.rounds, run)
+        matrices[name] = matrix
+        modes[name] = {
+            "seconds": round(seconds, 6),
+            "rows_per_s": round(rows / seconds, 2),
+        }
+        print(f"{name:>8}: {seconds:.3f}s  {rows / seconds:,.0f} rows/s", flush=True)
+
+    identical = bool(np.array_equal(matrices["cached"], matrices["parallel"]))
+    report = {
+        "benchmark": "featurize",
+        "dataset": args.dataset,
+        "preset": args.preset,
+        "rows": rows,
+        "distinct_queriers": len(queriers),
+        "window_seconds": config.window_seconds,
+        "workers": args.workers,
+        "rounds": args.rounds,
+        "cpu_count": os.cpu_count(),
+        "modes": modes,
+        "speedup_cached_vs_serial": round(
+            modes["serial"]["seconds"] / modes["cached"]["seconds"], 2
+        ),
+        "speedup_parallel_vs_serial": round(
+            modes["serial"]["seconds"] / modes["parallel"]["seconds"], 2
+        ),
+        "parallel_bit_identical": identical,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not identical:
+        print("parallel output differs from serial!", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ from repro.sensor import (
     ANALYZABLE_THRESHOLD,
     FEATURE_NAMES,
     BackscatterPipeline,
+    EnrichmentCache,
     LabeledExample,
     LabeledSet,
     SensorConfig,
@@ -72,6 +73,7 @@ __all__ = [
     "ANALYZABLE_THRESHOLD",
     "FEATURE_NAMES",
     "BackscatterPipeline",
+    "EnrichmentCache",
     "LabeledExample",
     "LabeledSet",
     "SensorConfig",

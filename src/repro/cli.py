@@ -77,7 +77,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     trainer = SensorEngine(
         directory,
         SensorConfig(
-            window_seconds=end - start, origin=start, min_queriers=args.min_queriers
+            window_seconds=end - start,
+            origin=start,
+            min_queriers=args.min_queriers,
+            featurize_workers=args.workers,
         ),
     )
     window = trainer.collect(entries, start, end)
@@ -117,6 +120,7 @@ def _classify_stream(
             window_seconds=args.window,
             origin=start,
             min_queriers=args.min_queriers,
+            featurize_workers=args.workers,
         ),
     )
     # Reuse the span-trained classify stage.
@@ -209,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-stage engine accounting after classifying",
+    )
+    classify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="featurize worker processes (1 = serial; results are "
+        "bit-identical either way)",
     )
     classify.set_defaults(func=_cmd_classify)
 

@@ -8,6 +8,7 @@ each dataset exactly once.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.sensor.features import FeatureSet
 __all__ = [
     "LabeledFeatures",
     "sensor_config",
+    "featurize_workers",
     "labeled_features",
     "windowed",
     "format_rows",
@@ -84,8 +86,23 @@ def sensor_config(name: str, preset: str = "default", **overrides) -> SensorConf
     config = SensorConfig(
         window_seconds=window_days * SECONDS_PER_DAY,
         min_queriers=MIN_QUERIERS.get(name, 20),
+        featurize_workers=featurize_workers(),
     )
     return config.replaced(**overrides) if overrides else config
+
+
+def featurize_workers() -> int:
+    """Featurize worker-process count, from ``REPRO_FEATURIZE_WORKERS``.
+
+    Experiments run many windows back to back, so the knob is an
+    environment variable rather than a per-experiment argument; results
+    are bit-identical regardless of the value.  Unset or invalid → 1
+    (serial).
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_FEATURIZE_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:

@@ -19,10 +19,13 @@ from repro.sensor.curation import (
     LabeledSet,
 )
 from repro.sensor.directory import (
+    EnrichmentCache,
     QuerierDirectory,
     QuerierInfo,
+    ResolvedQuerier,
     StaticDirectory,
     WorldDirectory,
+    enrich_chunk,
 )
 from repro.sensor.engine import (
     STAGE_NAMES,
@@ -43,6 +46,7 @@ from repro.sensor.features import (
     FeatureSet,
     extract_features,
     feature_vector,
+    features_from_selected,
 )
 from repro.sensor.keywords import (
     CATEGORY_KEYWORDS,
@@ -86,10 +90,13 @@ __all__ = [
     "MIN_TOTAL_EXAMPLES",
     "LabeledExample",
     "LabeledSet",
+    "EnrichmentCache",
     "QuerierDirectory",
     "QuerierInfo",
+    "ResolvedQuerier",
     "StaticDirectory",
     "WorldDirectory",
+    "enrich_chunk",
     "DYNAMIC_FEATURE_NAMES",
     "PERIOD_SECONDS",
     "WindowContext",
@@ -99,6 +106,7 @@ __all__ = [
     "FeatureSet",
     "extract_features",
     "feature_vector",
+    "features_from_selected",
     "CATEGORY_KEYWORDS",
     "STATIC_CATEGORIES",
     "SUFFIX_CATEGORIES",

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.netmodel.addressing import slash8, slash24
 from repro.sensor.collection import ObservationWindow, OriginatorObservation
-from repro.sensor.directory import QuerierDirectory
+from repro.sensor.directory import EnrichmentCache, QuerierDirectory
 
 __all__ = [
     "PERIOD_SECONDS",
@@ -69,22 +69,17 @@ class WindowContext:
     def from_window(
         cls, window: ObservationWindow, directory: QuerierDirectory
     ) -> "WindowContext":
-        ases: set[int] = set()
-        countries: set[str] = set()
+        cache = EnrichmentCache.ensure(directory)
         queriers: set[int] = set()
         for observation in window.observations.values():
-            for addr in observation.unique_queriers:
-                queriers.add(addr)
-                info = directory.lookup(addr)
-                if info.asn is not None:
-                    ases.add(info.asn)
-                if info.country is not None:
-                    countries.add(info.country)
+            queriers |= observation.unique_queriers
+        addrs = np.fromiter(queriers, np.int64, len(queriers))
+        _, asns, country_codes = cache.codes(addrs)
         return cls(
             start=window.start,
             end=window.end,
-            total_ases=max(1, len(ases)),
-            total_countries=max(1, len(countries)),
+            total_ases=max(1, len(np.unique(asns[asns >= 0]))),
+            total_countries=max(1, len(np.unique(country_codes[country_codes >= 0]))),
             total_queriers=max(1, len(queriers)),
         )
 
@@ -119,11 +114,15 @@ def dynamic_features(
     queriers = sorted(observation.unique_queriers)
     if not queriers:
         raise ValueError("observation has no queriers")
+    cache = EnrichmentCache.ensure(directory)
     n_queriers = len(queriers)
     queries_per_querier = observation.query_count / n_queriers
 
+    # A timestamp exactly at window.end would index period `periods` —
+    # one past the last real period — so clamp to the final period.
     periods = {
-        int((ts - context.start) // PERIOD_SECONDS) for ts in observation.timestamps
+        min(int((ts - context.start) // PERIOD_SECONDS), context.periods - 1)
+        for ts in observation.timestamps
     }
     persistence = len(periods) / context.periods
 
@@ -133,11 +132,11 @@ def dynamic_features(
     ases: set[int] = set()
     countries: set[str] = set()
     for addr in queriers:
-        info = directory.lookup(addr)
-        if info.asn is not None:
-            ases.add(info.asn)
-        if info.country is not None:
-            countries.add(info.country)
+        resolved = cache.resolve(addr)
+        if resolved.asn is not None:
+            ases.add(resolved.asn)
+        if resolved.country is not None:
+            countries.add(resolved.country)
     n_ases = max(1, len(ases))
     n_countries = max(1, len(countries))
     return np.array(

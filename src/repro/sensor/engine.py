@@ -98,6 +98,12 @@ class SensorConfig:
     """Builds a classifier from a seed; defaults to the paper's RF."""
     seed: int = 0
     """Base seed for the majority-vote classifier runs."""
+    featurize_workers: int = 1
+    """Process-pool workers for the featurize stage (1 = serial).
+
+    Chunked by originator, so the parallel output is bit-identical to
+    the serial path (see :func:`repro.sensor.features.features_from_selected`).
+    """
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -110,6 +116,8 @@ class SensorConfig:
             raise ValueError("min_queriers must be positive")
         if self.majority_runs < 1:
             raise ValueError("majority_runs must be positive")
+        if self.featurize_workers < 1:
+            raise ValueError("featurize_workers must be positive")
 
     @property
     def window_days(self) -> float:
@@ -342,7 +350,14 @@ class SensorEngine:
     # -- select + featurize ---------------------------------------------
 
     def featurize(self, window: ObservationWindow) -> FeatureSet:
-        """Select analyzable originators and extract their features."""
+        """Select analyzable originators and extract their features.
+
+        Runs serial (vectorized + window-scoped enrichment cache) by
+        default; with ``config.featurize_workers > 1`` the rows fan out
+        over a process pool, bit-identical to serial.  Observations whose
+        queriers all deduplicated away are skipped and accounted as
+        featurize-stage drops rather than raising out of :meth:`poll`.
+        """
         if self.directory is None:
             raise RuntimeError("engine has no querier directory to featurize with")
         started = time.perf_counter()
@@ -353,10 +368,13 @@ class SensorEngine:
         select.dropped += len(window) - len(selected)
         select.seconds += time.perf_counter() - started
         started = time.perf_counter()
-        features = features_from_selected(window, selected, self.directory)
+        features = features_from_selected(
+            window, selected, self.directory, workers=self.config.featurize_workers
+        )
         featurize = self.stats["featurize"]
         featurize.items_in += len(selected)
         featurize.items_out += len(features)
+        featurize.dropped += len(selected) - len(features)
         featurize.seconds += time.perf_counter() - started
         return features
 

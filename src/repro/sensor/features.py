@@ -3,21 +3,37 @@
 The full vector is the 14 static fractions followed by the 8 dynamic
 features, identified by the originator's IP address, exactly the object
 the paper hands to its ML algorithms.
+
+This is the hot path of every experiment — every window of every dataset
+runs through it — so batch assembly is vectorized: one
+:class:`~repro.sensor.directory.EnrichmentCache` resolves each querier
+exactly once per window (shared by the window context, the static
+counts, and the dynamic features), and the per-originator math runs over
+flat int arrays (``np.bincount`` over (row, code) keys) instead of
+per-querier Python loops.  ``features_from_selected(..., workers=N)``
+additionally fans the originator rows out over a ``ProcessPoolExecutor``
+in contiguous chunks; because every row depends only on its own
+observation plus the shared :class:`WindowContext`, the parallel result
+is bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sensor.collection import ObservationWindow, OriginatorObservation
-from repro.sensor.directory import QuerierDirectory
+from repro.sensor.directory import EnrichmentCache, QuerierDirectory, enrich_chunk
 from repro.sensor.dynamic import (
     DYNAMIC_FEATURE_NAMES,
+    PERIOD_SECONDS,
     WindowContext,
     dynamic_features,
 )
+from repro.sensor.keywords import STATIC_CATEGORIES
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.static import STATIC_FEATURE_NAMES, static_features
 
@@ -64,7 +80,13 @@ class FeatureSet:
         return self.matrix[row] if row is not None else None
 
     def subset(self, originators: set[int]) -> "FeatureSet":
-        """Rows restricted to the given originator addresses."""
+        """Rows restricted to the given originator addresses.
+
+        Rows come back in **matrix-row order** (the order they hold in
+        this set), never in the iteration order of *originators* — so a
+        subset of a subset, or a subset built from an unordered set, is
+        reproducible across runs.
+        """
         index = self.row_index
         rows = np.array(
             sorted(index[int(o)] for o in originators if int(o) in index),
@@ -78,7 +100,12 @@ class FeatureSet:
         )
 
     def top(self, n: int) -> "FeatureSet":
-        """Rows for the n largest footprints."""
+        """Rows for the n largest footprints.
+
+        Footprint ties break by ascending originator address, so the
+        selection (and therefore downstream classification output) is
+        deterministic across runs regardless of row order.
+        """
         order = np.lexsort((self.originators, -self.footprints))[:n]
         return FeatureSet(
             originators=self.originators[order],
@@ -93,7 +120,13 @@ def feature_vector(
     directory: QuerierDirectory,
     context: WindowContext,
 ) -> np.ndarray:
-    """One originator's full (static ‖ dynamic) vector."""
+    """One originator's full (static ‖ dynamic) vector.
+
+    The scalar reference path: resolves queriers through *directory* per
+    call (memoized only when handed an
+    :class:`~repro.sensor.directory.EnrichmentCache`).  Batch extraction
+    uses the vectorized :func:`features_from_selected` instead.
+    """
     return np.concatenate(
         [
             static_features(observation, directory),
@@ -102,10 +135,267 @@ def feature_vector(
     )
 
 
+def _grouped_distinct(rows: np.ndarray, values: np.ndarray, n_rows: int) -> np.ndarray:
+    """Distinct *values* per row id, via one unique over packed keys."""
+    if len(rows) == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    span = np.int64(values.max()) - np.int64(values.min()) + 1
+    keys = rows.astype(np.int64) * span + (values.astype(np.int64) - values.min())
+    distinct = np.unique(keys)
+    return np.bincount((distinct // span).astype(np.intp), minlength=n_rows)
+
+
+def _grouped_entropy(
+    rows: np.ndarray,
+    values: np.ndarray,
+    counts_per_row: np.ndarray,
+    support: int | None = None,
+) -> np.ndarray:
+    """Per-row normalized Shannon entropy over grouped values.
+
+    The vectorized counterpart of :func:`repro.sensor.dynamic._normalized_entropy`:
+    for each row, the entropy of the empirical distribution of its
+    values, scaled by ``log(min(n, support))`` and clipped to [0, 1].
+    Uses the identity ``H = log(n) - (Σ c·log c) / n`` over the per-(row,
+    value) multiplicities c, which needs only one sort of packed keys.
+    """
+    n_rows = len(counts_per_row)
+    span = np.int64(values.max()) - np.int64(values.min()) + 1 if len(values) else 1
+    offset = values.min() if len(values) else 0
+    keys = rows.astype(np.int64) * span + (values.astype(np.int64) - offset)
+    uniq, multiplicity = np.unique(keys, return_counts=True)
+    urows = (uniq // span).astype(np.intp)
+    c_log_c = np.bincount(
+        urows, weights=multiplicity * np.log(multiplicity), minlength=n_rows
+    )
+    n = counts_per_row.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        entropy = np.log(n) - c_log_c / n
+        ceiling = np.log(np.minimum(n, support) if support else n)
+        scaled = np.minimum(1.0, entropy / ceiling)
+    # n <= 1: a single sample has no spread to measure (ceiling is 0).
+    return np.where(counts_per_row <= 1, 0.0, np.maximum(0.0, scaled))
+
+
+def _feature_matrix(
+    selected: list[OriginatorObservation],
+    directory: QuerierDirectory,
+    context: WindowContext,
+) -> np.ndarray:
+    """The (n_selected, 22) feature matrix, vectorized over all rows.
+
+    Every observation must have at least one querier (callers filter
+    empties).  Row r depends only on ``selected[r]`` and *context*, so
+    chunking the list and concatenating the chunk matrices is
+    bit-identical to one call — the property the parallel fan-out relies
+    on.  Top-level so ``ProcessPoolExecutor`` can pickle it.
+    """
+    n_rows = len(selected)
+    n_categories = len(STATIC_CATEGORIES)
+    if n_rows == 0:
+        return np.zeros((0, len(FEATURE_NAMES)))
+    cache = EnrichmentCache.ensure(directory)
+
+    # Flatten (row, querier) pairs; queriers sorted per row for determinism.
+    footprints = np.array([o.footprint for o in selected], dtype=np.int64)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), footprints)
+    addrs = np.fromiter(
+        (a for o in selected for a in sorted(o.unique_queriers)),
+        dtype=np.int64,
+        count=int(footprints.sum()),
+    )
+
+    # Resolve each distinct querier exactly once; broadcast codes back.
+    distinct, inverse = np.unique(addrs, return_inverse=True)
+    categories, asns, country_codes = cache.codes(distinct)
+    categories = categories[inverse]
+    asns = asns[inverse]
+    country_codes = country_codes[inverse]
+
+    # Static: per-row category counts in one bincount, then fractions.
+    static_counts = np.bincount(
+        (rows * n_categories + categories).astype(np.intp),
+        minlength=n_rows * n_categories,
+    ).reshape(n_rows, n_categories)
+    static = static_counts / footprints[:, None]
+
+    # Dynamic, all rows at once.
+    query_counts = np.array([o.query_count for o in selected], dtype=np.int64)
+    queries_per_querier = query_counts / footprints
+
+    ts_counts = np.array([len(o.timestamps) for o in selected], dtype=np.int64)
+    ts_rows = np.repeat(np.arange(n_rows, dtype=np.int64), ts_counts)
+    timestamps = np.fromiter(
+        (t for o in selected for t in o.timestamps),
+        dtype=np.float64,
+        count=int(ts_counts.sum()),
+    )
+    period_index = np.minimum(
+        ((timestamps - context.start) // PERIOD_SECONDS).astype(np.int64),
+        context.periods - 1,
+    )
+    persistence = _grouped_distinct(ts_rows, period_index, n_rows) / context.periods
+
+    local_entropy = _grouped_entropy(rows, addrs >> 8, footprints)
+    global_entropy = _grouped_entropy(rows, addrs >> 24, footprints, support=256)
+
+    known_as = asns >= 0
+    n_ases = _grouped_distinct(rows[known_as], asns[known_as], n_rows)
+    known_country = country_codes >= 0
+    n_countries = _grouped_distinct(
+        rows[known_country], country_codes[known_country], n_rows
+    )
+    unique_as = n_ases / context.total_ases
+    unique_country = n_countries / context.total_countries
+    queriers_per_country = (
+        footprints / np.maximum(1, n_countries)
+    ) / context.total_queriers
+    queriers_per_as = (footprints / np.maximum(1, n_ases)) / context.total_queriers
+
+    dynamic = np.column_stack(
+        [
+            queries_per_querier,
+            persistence,
+            local_entropy,
+            global_entropy,
+            unique_as,
+            unique_country,
+            queriers_per_country,
+            queriers_per_as,
+        ]
+    )
+    return np.hstack([static, dynamic])
+
+
+#: Shared state pool workers inherit through fork.  Task payloads carry
+#: only (lo, hi) index bounds into this state, so nothing heavy — no
+#: directory, no observations — ever crosses the IPC pipe; fork
+#: inheritance makes the hand-off zero-copy.  Set immediately before a
+#: pool starts and cleared after, so each featurize call ships its
+#: call-time state (directory mutations between windows included).
+_POOL_DIRECTORY: QuerierDirectory | None = None
+_POOL_ADDRS: np.ndarray | None = None
+_POOL_SELECTED: list[OriginatorObservation] | None = None
+_POOL_CONTEXT: WindowContext | None = None
+
+
+def _fork_pool(workers: int) -> ProcessPoolExecutor | None:
+    """A fork-context process pool, or None where fork is unavailable.
+
+    The parallel featurize path relies on fork inheritance of
+    ``_POOL_*`` state; on platforms without fork (Windows/macOS spawn)
+    callers fall back to the serial vectorized path, which is already
+    the fast one.
+    """
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+
+def _bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """At most *parts* contiguous, near-equal, non-empty [lo, hi) spans."""
+    parts = min(parts, total)
+    base, extra = divmod(total, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def _enrichment_task(
+    bounds: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]:
+    lo, hi = bounds
+    assert _POOL_DIRECTORY is not None and _POOL_ADDRS is not None
+    return enrich_chunk(_POOL_DIRECTORY, _POOL_ADDRS[lo:hi])
+
+
+def _feature_matrix_task(bounds: tuple[int, int]) -> np.ndarray:
+    lo, hi = bounds
+    assert _POOL_DIRECTORY is not None and _POOL_SELECTED is not None
+    assert _POOL_CONTEXT is not None
+    return _feature_matrix(_POOL_SELECTED[lo:hi], _POOL_DIRECTORY, _POOL_CONTEXT)
+
+
+def _prime_parallel(
+    cache: EnrichmentCache,
+    window: ObservationWindow,
+    workers: int,
+) -> None:
+    """Resolve the window's queriers through a process pool, priming *cache*.
+
+    Querier enrichment — one directory lookup plus keyword classification
+    per distinct address — dominates featurize time, and is embarrassingly
+    parallel: workers classify contiguous spans of the unresolved
+    addresses against the (fork-inherited) raw directory, and the parent
+    installs the results in its cache.  Enrichment is deterministic per
+    address, so the cache ends up exactly as the serial path would leave
+    it (modulo internal code numbering, which never reaches feature
+    values).
+    """
+    global _POOL_DIRECTORY, _POOL_ADDRS
+    queriers: set[int] = set()
+    for observation in window.observations.values():
+        queriers |= observation.unique_queriers
+    unresolved = cache.missing(np.fromiter(queriers, np.int64, len(queriers)))
+    pool = _fork_pool(workers) if len(unresolved) >= 4 * workers else None
+    if pool is None:
+        cache.codes(unresolved)
+        return
+    _POOL_DIRECTORY = cache.directory
+    _POOL_ADDRS = unresolved
+    try:
+        with pool:
+            spans = _bounds(len(unresolved), workers)
+            for (lo, hi), chunk in zip(spans, pool.map(_enrichment_task, spans)):
+                cache.prime_arrays(unresolved[lo:hi], *chunk)
+    finally:
+        _POOL_DIRECTORY = None
+        _POOL_ADDRS = None
+
+
+def _parallel_feature_matrix(
+    selected: list[OriginatorObservation],
+    cache: EnrichmentCache,
+    context: WindowContext,
+    workers: int,
+) -> np.ndarray:
+    """Fan contiguous originator chunks out over a process pool.
+
+    Called with an already-primed cache, which the workers inherit warm
+    (fork happens after enrichment), so each chunk is pure array math.
+    Every row depends only on its own observation plus the shared
+    *context*, so concatenating the chunk matrices is bit-identical to
+    one serial :func:`_feature_matrix` call.  Falls back to serial where
+    fork is unavailable.
+    """
+    global _POOL_DIRECTORY, _POOL_SELECTED, _POOL_CONTEXT
+    pool = _fork_pool(workers)
+    if pool is None:
+        return _feature_matrix(selected, cache, context)
+    _POOL_DIRECTORY = cache
+    _POOL_SELECTED = selected
+    _POOL_CONTEXT = context
+    try:
+        with pool:
+            parts = list(pool.map(_feature_matrix_task, _bounds(len(selected), workers)))
+    finally:
+        _POOL_DIRECTORY = None
+        _POOL_SELECTED = None
+        _POOL_CONTEXT = None
+    return np.concatenate(parts)
+
+
 def features_from_selected(
     window: ObservationWindow,
     selected: list[OriginatorObservation],
     directory: QuerierDirectory,
+    workers: int = 1,
 ) -> FeatureSet:
     """Feature vectors for an already-selected set of originators.
 
@@ -113,14 +403,31 @@ def features_from_selected(
     window; *selected* only controls which rows are materialized.  This
     is the featurize stage of :class:`repro.sensor.engine.SensorEngine`,
     which performs selection separately so it can account for drops.
+
+    Observations without any queriers (possible when every query
+    deduplicated away or a serialized observation is degenerate) are
+    skipped rather than raising; callers can detect skips by comparing
+    ``len(selected)`` with the result length.
+
+    With ``workers > 1`` the rows are computed in contiguous originator
+    chunks on a ``ProcessPoolExecutor``; the result is bit-identical to
+    the serial path because each row sees only its own observation plus
+    the shared window context.
     """
-    context = WindowContext.from_window(window, directory)
-    originators = np.array([o.originator for o in selected], dtype=np.int64)
-    footprints = np.array([o.footprint for o in selected], dtype=np.int64)
-    if selected:
-        matrix = np.stack([feature_vector(o, directory, context) for o in selected])
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    cache = EnrichmentCache.ensure(directory)
+    kept = [o for o in selected if o.footprint > 0]
+    parallel = workers > 1 and len(kept) >= 2 * workers
+    if parallel:
+        _prime_parallel(cache, window, workers)
+    context = WindowContext.from_window(window, cache)
+    originators = np.array([o.originator for o in kept], dtype=np.int64)
+    footprints = np.array([o.footprint for o in kept], dtype=np.int64)
+    if parallel:
+        matrix = _parallel_feature_matrix(kept, cache, context, workers)
     else:
-        matrix = np.zeros((0, len(FEATURE_NAMES)))
+        matrix = _feature_matrix(kept, cache, context)
     return FeatureSet(
         originators=originators,
         matrix=matrix,
@@ -133,6 +440,9 @@ def extract_features(
     window: ObservationWindow,
     directory: QuerierDirectory,
     min_queriers: int = ANALYZABLE_THRESHOLD,
+    workers: int = 1,
 ) -> FeatureSet:
     """Feature vectors for every analyzable originator in the window."""
-    return features_from_selected(window, analyzable(window, min_queriers), directory)
+    return features_from_selected(
+        window, analyzable(window, min_queriers), directory, workers=workers
+    )

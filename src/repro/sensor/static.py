@@ -11,8 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sensor.collection import OriginatorObservation
-from repro.sensor.directory import QuerierDirectory
-from repro.sensor.keywords import STATIC_CATEGORIES, classify_querier
+from repro.sensor.directory import EnrichmentCache, QuerierDirectory
+from repro.sensor.keywords import STATIC_CATEGORIES
 
 __all__ = ["STATIC_FEATURE_NAMES", "static_features", "static_feature_dict"]
 
@@ -20,20 +20,22 @@ STATIC_FEATURE_NAMES: tuple[str, ...] = tuple(
     f"static_{category}" for category in STATIC_CATEGORIES
 )
 
-_INDEX = {category: i for i, category in enumerate(STATIC_CATEGORIES)}
-
 
 def static_features(
     observation: OriginatorObservation, directory: QuerierDirectory
 ) -> np.ndarray:
-    """Category-fraction vector over the observation's unique queriers."""
+    """Category-fraction vector over the observation's unique queriers.
+
+    Pass an :class:`EnrichmentCache` as *directory* to share querier
+    resolution with the dynamic features and the window context.
+    """
     queriers = observation.unique_queriers
     if not queriers:
         raise ValueError("observation has no queriers")
+    cache = EnrichmentCache.ensure(directory)
     counts = np.zeros(len(STATIC_CATEGORIES))
     for addr in queriers:
-        info = directory.lookup(addr)
-        counts[_INDEX[classify_querier(info.name, info.status)]] += 1.0
+        counts[cache.resolve(addr).category_index] += 1.0
     return counts / counts.sum()
 
 

@@ -9,13 +9,19 @@ from hypothesis import strategies as st
 
 from repro.netmodel.world import NameStatus
 from repro.sensor.collection import ObservationWindow, OriginatorObservation
-from repro.sensor.directory import QuerierInfo, StaticDirectory
+from repro.sensor.directory import EnrichmentCache, QuerierInfo, StaticDirectory
 from repro.sensor.dynamic import (
     DYNAMIC_FEATURE_NAMES,
     WindowContext,
     dynamic_features,
 )
-from repro.sensor.features import FEATURE_NAMES, extract_features
+from repro.sensor.features import (
+    FEATURE_NAMES,
+    extract_features,
+    feature_vector,
+    features_from_selected,
+)
+from repro.sensor.selection import analyzable
 from repro.sensor.static import STATIC_FEATURE_NAMES, static_features
 
 
@@ -191,3 +197,187 @@ class TestExtractFeatures:
 
     def test_feature_names_cover_matrix(self):
         assert len(FEATURE_NAMES) == len(STATIC_FEATURE_NAMES) + len(DYNAMIC_FEATURE_NAMES)
+
+
+class TestPersistenceBoundary:
+    """Regression: a timestamp exactly at window.end must not mint a period."""
+
+    def test_timestamp_at_window_end_clamps_to_last_period(self):
+        directory = make_directory({1: ("a.x.com", 1, "us")})
+        # 3590 and 3600 both belong to the final 600 s period of [0, 3600):
+        # before the clamp, 3600 indexed a phantom 7th period.
+        obs = observation(9, [(3590.0, 1), (3600.0, 1)])
+        window = window_with([obs], start=0.0, end=3600.0)
+        context = WindowContext.from_window(window, directory)
+        vector = dict(
+            zip(DYNAMIC_FEATURE_NAMES, dynamic_features(obs, directory, context))
+        )
+        assert vector["dyn_persistence"] == pytest.approx(1 / 6)
+
+    def test_persistence_never_exceeds_one(self):
+        directory = make_directory({1: ("a.x.com", 1, "us")})
+        # Single-period window with a query at both bounds: before the
+        # clamp this produced persistence 2/1 = 2.0.
+        obs = observation(9, [(0.0, 1), (600.0, 1)])
+        window = window_with([obs], start=0.0, end=600.0)
+        context = WindowContext.from_window(window, directory)
+        vector = dict(
+            zip(DYNAMIC_FEATURE_NAMES, dynamic_features(obs, directory, context))
+        )
+        assert vector["dyn_persistence"] == pytest.approx(1.0)
+
+    def test_vectorized_matches_scalar_at_boundary(self):
+        directory = make_directory({i: (f"q{i}.x.com", i, "us") for i in range(1, 4)})
+        obs = observation(9, [(0.0, 1), (3599.0, 2), (3600.0, 3)])
+        window = window_with([obs], start=0.0, end=3600.0)
+        features = features_from_selected(window, [obs], directory)
+        context = features.context
+        scalar = feature_vector(obs, directory, context)
+        np.testing.assert_allclose(features.matrix[0], scalar, atol=1e-12)
+
+
+class TestEmptyObservationSkip:
+    def test_features_from_selected_skips_empty(self):
+        directory = make_directory({1: ("a.x.com", 1, "us"), 2: ("b.x.com", 2, "jp")})
+        full = observation(100, [(0.0, 1), (1.0, 2)])
+        empty = OriginatorObservation(originator=200)
+        window = window_with([full, empty])
+        features = features_from_selected(window, [full, empty], directory)
+        assert list(features.originators) == [100]
+        assert features.matrix.shape == (1, len(FEATURE_NAMES))
+
+    def test_engine_counts_empty_as_featurize_drop(self, monkeypatch):
+        from repro.sensor import engine as engine_mod
+        from repro.sensor.engine import SensorConfig, SensorEngine
+
+        directory = make_directory({1: ("a.x.com", 1, "us"), 2: ("b.x.com", 2, "jp")})
+        full = observation(100, [(0.0, 1), (1.0, 2)])
+        empty = OriginatorObservation(originator=200)
+        window = window_with([full, empty])
+        # min_queriers >= 1 means selection can't normally pass an empty
+        # observation, but degenerate serialized inputs can: simulate one
+        # slipping through selection.
+        monkeypatch.setattr(engine_mod, "analyzable", lambda w, n: [full, empty])
+        engine = SensorEngine(directory, SensorConfig(min_queriers=1))
+        features = engine.featurize(window)
+        assert list(features.originators) == [100]
+        assert engine.stats["featurize"].dropped == 1
+        assert engine.stats["featurize"].items_out == 1
+
+    def test_scalar_paths_still_raise(self):
+        empty = OriginatorObservation(originator=1)
+        window = window_with([empty])
+        directory = StaticDirectory()
+        context = WindowContext.from_window(window, directory)
+        with pytest.raises(ValueError):
+            static_features(empty, directory)
+        with pytest.raises(ValueError):
+            dynamic_features(empty, directory, context)
+
+
+class TestFeatureSetOrdering:
+    def _features(self, sizes: dict[int, int]):
+        all_addrs = range(1, 200)
+        directory = make_directory(
+            {a: (f"q{a}.x.com", a % 7, "us") for a in all_addrs}
+        )
+        observations = [
+            observation(orig, [(float(i), i) for i in range(1, n + 1)])
+            for orig, n in sizes.items()
+        ]
+        window = window_with([o for o in observations])
+        return extract_features(window, directory, min_queriers=1)
+
+    def test_subset_returns_matrix_row_order(self):
+        # Insertion order 300, 100, 200: subset must preserve row order,
+        # not the iteration order of the argument set.
+        features = self._features({300: 5, 100: 6, 200: 7})
+        assert list(features.originators) == [300, 100, 200]
+        subset = features.subset({100, 300})
+        assert list(subset.originators) == [300, 100]
+        np.testing.assert_array_equal(subset.matrix[0], features.matrix[0])
+        np.testing.assert_array_equal(subset.matrix[1], features.matrix[1])
+
+    def test_top_breaks_footprint_ties_by_originator(self):
+        # Three originators with identical footprints, inserted in
+        # descending-address order: top() must sort ties ascending.
+        features = self._features({900: 4, 500: 4, 700: 4})
+        top = features.top(2)
+        assert list(top.originators) == [500, 700]
+
+    def test_top_prefers_larger_footprints(self):
+        features = self._features({10: 3, 20: 9, 30: 6})
+        assert list(features.top(2).originators) == [20, 30]
+
+
+class TestParallelFeaturize:
+    @settings(max_examples=5, deadline=None)
+    @given(st.data())
+    def test_workers4_bit_identical_to_serial(self, data):
+        n_origs = data.draw(st.integers(3, 12), label="n_origs")
+        directory = make_directory(
+            {a: (f"host{a}.x.com", a % 9, ["us", "jp", "de"][a % 3]) for a in range(1, 120)}
+        )
+        observations = []
+        for i in range(n_origs):
+            pairs = data.draw(
+                st.lists(
+                    st.tuples(st.floats(0, 86000), st.integers(1, 119)),
+                    min_size=1,
+                    max_size=25,
+                ),
+                label=f"obs{i}",
+            )
+            observations.append(observation(1000 + i, sorted(pairs)))
+        window = window_with(observations)
+        selected = analyzable(window, 1)
+        serial = features_from_selected(window, selected, directory, workers=1)
+        parallel = features_from_selected(window, selected, directory, workers=4)
+        np.testing.assert_array_equal(serial.originators, parallel.originators)
+        np.testing.assert_array_equal(serial.footprints, parallel.footprints)
+        np.testing.assert_array_equal(serial.matrix, parallel.matrix)
+
+    def test_cache_is_window_scoped_not_global(self):
+        # Mutating the directory between featurize calls must be picked
+        # up: each call builds a fresh window-scoped cache.
+        directory = make_directory({1: ("mail.a.com", 1, "us"), 2: ("mx.b.com", 2, "jp")})
+        obs = observation(50, [(0.0, 1), (1.0, 2)])
+        window = window_with([obs])
+        before = features_from_selected(window, [obs], directory)
+        directory.add(
+            QuerierInfo(
+                addr=1,
+                name="firewall.a.com",
+                status=NameStatus.OK,
+                asn=1,
+                country="us",
+            )
+        )
+        after = features_from_selected(window, [obs], directory)
+        names = dict(zip(FEATURE_NAMES, before.matrix[0]))
+        renames = dict(zip(FEATURE_NAMES, after.matrix[0]))
+        assert names["static_mail"] == pytest.approx(1.0)
+        assert renames["static_mail"] == pytest.approx(0.5)
+        assert renames["static_fw"] == pytest.approx(0.5)
+
+    def test_explicit_cache_snapshot_ignores_mutation(self):
+        # The flip side: within one window, a shared cache is a snapshot.
+        directory = make_directory({1: ("mail.a.com", 1, "us")})
+        cache = EnrichmentCache(directory)
+        obs = observation(50, [(0.0, 1)])
+        window = window_with([obs])
+        before = features_from_selected(window, [obs], cache)
+        directory.add(
+            QuerierInfo(
+                addr=1, name="firewall.a.com", status=NameStatus.OK, asn=1, country="us"
+            )
+        )
+        after = features_from_selected(window, [obs], cache)
+        np.testing.assert_array_equal(before.matrix, after.matrix)
+
+    def test_workers_must_be_positive(self):
+        directory = make_directory({1: ("a.x.com", 1, "us")})
+        obs = observation(9, [(0.0, 1)])
+        window = window_with([obs])
+        with pytest.raises(ValueError):
+            features_from_selected(window, [obs], directory, workers=0)
