@@ -11,8 +11,12 @@ featurize stage three ways, and writes ``BENCH_featurize.json``:
 * **parallel** — the same with ``--workers`` processes (fork fan-out).
 
 Each mode reports rows/s from the best of ``--rounds`` runs, and the
-parallel matrix is checked bit-identical against the cached one.  Run
-from the repo root::
+parallel matrix is checked bit-identical against the cached one.  A
+fourth measurement re-runs the cached mode with a live
+:class:`repro.telemetry.MetricsRegistry` installed and reports the
+overhead of active telemetry (``--assert-overhead PCT`` turns it into
+a pass/fail gate; ``--metrics-out`` writes the collected snapshot).
+Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_featurize.py --quick
 
@@ -38,6 +42,7 @@ from repro.sensor.dynamic import WindowContext
 from repro.sensor.engine import SensorEngine
 from repro.sensor.features import feature_vector, features_from_selected
 from repro.sensor.selection import analyzable
+from repro.telemetry import MetricsRegistry, use_registry, write_metrics
 
 
 def _best_of(rounds: int, run) -> tuple[float, object]:
@@ -67,6 +72,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=3, help="best-of rounds per mode")
     parser.add_argument(
         "-o", "--output", default="BENCH_featurize.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry snapshot collected during the "
+        "instrumented runs here (format inferred from the suffix)",
+    )
+    parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if live telemetry slows the cached mode by more "
+        "than PCT percent",
     )
     args = parser.parse_args(argv)
     if args.quick:
@@ -124,6 +144,38 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:>8}: {seconds:.3f}s  {rows / seconds:,.0f} rows/s", flush=True)
 
     identical = bool(np.array_equal(matrices["cached"], matrices["parallel"]))
+
+    # Telemetry overhead: the cached mode again, now with a registry
+    # installed so every span/observe hook does real work.  Best-of-N
+    # on both sides keeps scheduler noise out of the comparison.
+    registry = MetricsRegistry()
+
+    def run_cached_live() -> np.ndarray:
+        with use_registry(registry):
+            return features_from_selected(
+                window, selected, directory, workers=1
+            ).matrix
+
+    overhead_rounds = max(args.rounds, 5)
+    base_seconds, _ = _best_of(overhead_rounds, run_cached)
+    live_seconds, live_matrix = _best_of(overhead_rounds, run_cached_live)
+    overhead_pct = (live_seconds / base_seconds - 1.0) * 100.0
+    modes["cached_telemetry"] = {
+        "seconds": round(live_seconds, 6),
+        "rows_per_s": round(rows / live_seconds, 2),
+    }
+    print(
+        f"telemetry: {base_seconds:.3f}s off, {live_seconds:.3f}s on "
+        f"({overhead_pct:+.2f}%)",
+        flush=True,
+    )
+    if not np.array_equal(matrices["cached"], live_matrix):
+        print("telemetry changed the feature matrix!", file=sys.stderr)
+        return 1
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+
     report = {
         "benchmark": "featurize",
         "dataset": args.dataset,
@@ -142,11 +194,19 @@ def main(argv: list[str] | None = None) -> int:
             modes["serial"]["seconds"] / modes["parallel"]["seconds"], 2
         ),
         "parallel_bit_identical": identical,
+        "telemetry_overhead_pct": round(overhead_pct, 2),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not identical:
         print("parallel output differs from serial!", file=sys.stderr)
+        return 1
+    if args.assert_overhead is not None and overhead_pct > args.assert_overhead:
+        print(
+            f"telemetry overhead {overhead_pct:.2f}% exceeds the "
+            f"{args.assert_overhead:.2f}% budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.analysis.longitudinal import curate_from_window, slice_windows
 from repro.datasets import get_dataset
 from repro.netmodel import ip_to_str
-from repro.sensor import BackscatterPipeline
+from repro.sensor import SensorConfig, SensorEngine
 
 
 def main() -> None:
@@ -30,9 +30,9 @@ def main() -> None:
     labeled = curate_from_window(dataset, window, per_class_cap=60, min_queriers=10)
     print(f"curated labels: {dict(labeled.class_counts())}")
 
-    pipeline = BackscatterPipeline(dataset.directory(), min_queriers=10)
-    pipeline.fit(window.features, labeled.restrict_to(window.originators()))
-    verdicts = pipeline.classify(window.features)
+    engine = SensorEngine(dataset.directory(), SensorConfig(min_queriers=10))
+    engine.fit(window.features, labeled.restrict_to(window.originators()))
+    verdicts = engine.classify(window.features)
 
     detected = {v.originator for v in verdicts if v.app_class == "scan"}
     # Appendix A's bar: >1024 darknet addresses confirms a scanner.  Small,

@@ -10,18 +10,88 @@ Subcommands:
   classifications;
 * ``repro figures -o DIR`` — render the implemented paper figures as SVG;
 * ``repro experiments ...`` — forwarded to :mod:`repro.experiments`.
+
+The work-shaping flags are uniform across subcommands: ``--workers``
+fans the featurize stage out over processes wherever featurization
+happens, and ``--metrics-out PATH`` (with ``--metrics-format``)
+installs a :class:`repro.telemetry.MetricsRegistry` over the run and
+writes a snapshot when it finishes — Prometheus text or JSON lines.
+``repro classify --stream --metrics-every N`` additionally snapshots
+every N sensed windows, the live-deployment cadence.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.netmodel.addressing import ip_to_str, str_to_ip
+from repro.telemetry import (
+    METRICS_FORMATS,
+    MetricsRegistry,
+    format_for_path,
+    use_registry,
+    write_metrics,
+)
 
 __all__ = ["main"]
+
+
+# -- shared option groups -------------------------------------------------
+
+
+def add_workers_option(parser: argparse.ArgumentParser) -> None:
+    """The featurize fan-out knob, identical on every subcommand."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="featurize worker processes (1 = serial; results are "
+        "bit-identical either way)",
+    )
+
+
+def add_metrics_options(
+    parser: argparse.ArgumentParser, streaming: bool = False
+) -> None:
+    """The telemetry-export knobs, identical on every subcommand."""
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect pipeline metrics and write a snapshot here",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=METRICS_FORMATS,
+        default=None,
+        help="snapshot format (default: inferred from the path suffix; "
+        ".jsonl/.json/.ndjson mean jsonl, anything else prom)",
+    )
+    if streaming:
+        parser.add_argument(
+            "--metrics-every",
+            type=int,
+            default=0,
+            metavar="N",
+            help="with --stream: also write a snapshot every N sensed "
+            "windows (0 = only at the end)",
+        )
+
+
+def _registry_for(args: argparse.Namespace) -> MetricsRegistry | None:
+    return MetricsRegistry() if args.metrics_out else None
+
+
+def _write_snapshot(args: argparse.Namespace, registry: MetricsRegistry | None) -> None:
+    if registry is None or not args.metrics_out:
+        return
+    fmt = format_for_path(args.metrics_out, args.metrics_format)
+    write_metrics(registry, args.metrics_out, fmt)
+    print(f"wrote {fmt} metrics to {args.metrics_out}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -72,6 +142,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     labeled = LabeledSet.from_pairs(
         (str_to_ip(addr), app_class) for addr, app_class in raw_labels.items()
     )
+    registry = _registry_for(args)
 
     # Train the classify stage on the full span (one batch window).
     trainer = SensorEngine(
@@ -82,6 +153,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             min_queriers=args.min_queriers,
             featurize_workers=args.workers,
         ),
+        registry=registry,
     )
     window = trainer.collect(entries, start, end)
     features = trainer.featurize(window)
@@ -93,7 +165,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     trainer.fit(features, present)
 
     if args.stream:
-        return _classify_stream(args, trainer, entries, start, end)
+        return _classify_stream(args, trainer, registry, entries, start, end)
 
     verdicts = sorted(trainer.classify(features), key=lambda v: -v.footprint)
     print(f"{'originator':<16} {'queriers':>8}  class")
@@ -102,11 +174,17 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(trainer.format_accounting())
+    _write_snapshot(args, registry)
     return 0
 
 
 def _classify_stream(
-    args: argparse.Namespace, trainer, entries, start: float, end: float
+    args: argparse.Namespace,
+    trainer,
+    registry: MetricsRegistry | None,
+    entries,
+    start: float,
+    end: float,
 ) -> int:
     """Replay the log through the streaming path, window by window."""
     from repro.sensor import SensorConfig, SensorEngine
@@ -122,6 +200,7 @@ def _classify_stream(
             min_queriers=args.min_queriers,
             featurize_workers=args.workers,
         ),
+        registry=registry,
     )
     # Reuse the span-trained classify stage.
     engine.fit_from(trainer)
@@ -139,30 +218,56 @@ def _classify_stream(
                 f"{verdict.footprint:>8}  {verdict.app_class}"
             )
 
+    every = max(0, args.metrics_every)
+    since_snapshot = 0
+
+    def sense_and_report(batch) -> None:
+        nonlocal since_snapshot
+        for sensed in batch:
+            report(sensed)
+            since_snapshot += 1
+        if registry is not None and every and since_snapshot >= every:
+            _write_snapshot(args, registry)
+            since_snapshot = 0
+
     chunk = max(1, args.chunk)
     for offset in range(0, len(entries), chunk):
         engine.ingest_many(entries[offset : offset + chunk])
-        for sensed in engine.poll():
-            report(sensed)
-    for sensed in engine.finish():
-        report(sensed)
+        sense_and_report(engine.poll())
+    sense_and_report(engine.finish())
     print()
     print(engine.format_accounting())
+    _write_snapshot(args, registry)
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz import render_all
 
-    written = render_all(args.output, preset=args.preset)
+    if args.workers > 1:
+        os.environ["REPRO_FEATURIZE_WORKERS"] = str(args.workers)
+    registry = _registry_for(args)
+    with use_registry(registry):
+        written = render_all(args.output, preset=args.preset)
     for path in written:
         print(f"wrote {path}")
+    _write_snapshot(args, registry)
     return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
+    # The experiment modules share in-process caches keyed by dataset,
+    # not by knob, so the work-shaping flags travel as the environment
+    # variables the harness already reads (REPRO_FEATURIZE_WORKERS,
+    # REPRO_METRICS_OUT / REPRO_METRICS_FORMAT).
+    if args.workers > 1:
+        os.environ["REPRO_FEATURIZE_WORKERS"] = str(args.workers)
+    if args.metrics_out:
+        os.environ["REPRO_METRICS_OUT"] = args.metrics_out
+        if args.metrics_format:
+            os.environ["REPRO_METRICS_FORMAT"] = args.metrics_format
     forwarded = list(args.names)
     if args.list:
         forwarded.append("--list")
@@ -214,24 +319,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage engine accounting after classifying",
     )
-    classify.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="featurize worker processes (1 = serial; results are "
-        "bit-identical either way)",
-    )
+    add_workers_option(classify)
+    add_metrics_options(classify, streaming=True)
     classify.set_defaults(func=_cmd_classify)
 
     figures = commands.add_parser("figures", help="render paper figures as SVG")
     figures.add_argument("-o", "--output", default="figures")
     figures.add_argument("--preset", default="default", choices=("default", "tiny"))
+    add_workers_option(figures)
+    add_metrics_options(figures)
     figures.set_defaults(func=_cmd_figures)
 
     experiments = commands.add_parser("experiments", help="run experiment modules")
     experiments.add_argument("names", nargs="*", help="experiment names")
     experiments.add_argument("--list", action="store_true")
     experiments.add_argument("--all-cheap", action="store_true")
+    add_workers_option(experiments)
+    add_metrics_options(experiments)
     experiments.set_defaults(func=_cmd_experiments)
     return parser
 

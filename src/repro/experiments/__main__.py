@@ -11,13 +11,21 @@ experiments (figs 5-8, 11-15, tables V/VI on M-sampled) regenerate
 month-scale datasets and take minutes on first use; they share cached
 artifacts within one process, so batching them in a single invocation
 is much cheaper than separate runs.
+
+Setting ``REPRO_METRICS_OUT=PATH`` (optionally with
+``REPRO_METRICS_FORMAT=prom|jsonl``) installs a metrics registry over
+the whole invocation and writes a snapshot when it finishes — the
+opt-in the ``repro experiments --metrics-out`` flag maps onto.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+
+from repro.telemetry import MetricsRegistry, use_registry, write_metrics
 
 from repro.experiments import (
     case_studies,
@@ -111,12 +119,19 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        runner, _ = _RUNNERS[name]
-        started = time.time()
-        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
-        print(runner())
-        print(f"--- {name} done in {time.time() - started:.1f}s\n")
+    metrics_out = os.environ.get("REPRO_METRICS_OUT")
+    registry = MetricsRegistry() if metrics_out else None
+    with use_registry(registry):
+        for name in names:
+            runner, _ = _RUNNERS[name]
+            started = time.time()
+            print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+            print(runner())
+            print(f"--- {name} done in {time.time() - started:.1f}s\n")
+    if registry is not None and metrics_out:
+        fmt = os.environ.get("REPRO_METRICS_FORMAT") or None
+        path = write_metrics(registry, metrics_out, fmt)
+        print(f"wrote metrics to {path}")
     return 0
 
 

@@ -16,6 +16,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.ml.metrics import ClassificationReport, evaluate
+from repro.telemetry import span
 
 __all__ = [
     "Classifier",
@@ -161,8 +162,10 @@ def repeated_holdout(
         if len(test) == 0:
             raise ValueError("holdout produced an empty test set")
         model = factory(int(rng.integers(2**63)))
-        model.fit(X[train], y[train])
-        predictions = model.predict(X[test])
+        with span("classifier.fit"):
+            model.fit(X[train], y[train])
+        with span("classifier.predict"):
+            predictions = model.predict(X[test])
         reports.append(evaluate(y[test], predictions, n_classes))
     return HoldoutSummary.from_reports(reports)
 
@@ -184,8 +187,10 @@ def majority_vote_predict(
     all_runs = []
     for _ in range(runs):
         model = factory(int(rng.integers(2**63)))
-        model.fit(X_train, y_train)
-        all_runs.append(model.predict(X_test))
+        with span("classifier.fit"):
+            model.fit(X_train, y_train)
+        with span("classifier.predict"):
+            all_runs.append(model.predict(X_test))
     stacked = np.stack(all_runs, axis=0)
     out = np.empty(stacked.shape[1], dtype=int)
     for column in range(stacked.shape[1]):

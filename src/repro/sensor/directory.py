@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.netmodel.world import NameStatus, World
 from repro.sensor.keywords import STATIC_CATEGORIES, classify_querier
+from repro.telemetry import count as _tcount
 
 __all__ = [
     "QuerierInfo",
@@ -149,8 +150,18 @@ class EnrichmentCache:
     directory is expected.
     """
 
+    #: Telemetry counter names (emitted when a registry is installed).
+    _HITS = "repro_enrichment_cache_hits_total"
+    _MISSES = "repro_enrichment_cache_misses_total"
+    _BUILT = "repro_enrichment_cache_built_total"
+
     def __init__(self, directory: QuerierDirectory) -> None:
         self._directory = directory
+        # Lookup accounting (always-on plain ints; mirrored to the
+        # ambient metrics registry when one is installed).
+        self.hits = 0
+        self.misses = 0
+        self.built = 0
         # Consolidated column store, sorted by address.
         self._addrs = np.empty(0, dtype=np.int64)
         self._categories = np.empty(0, dtype=np.int64)
@@ -226,6 +237,8 @@ class EnrichmentCache:
         """The enriched view of one querier (memoized)."""
         hit = self._memo.get(addr)
         if hit is not None:
+            self.hits += 1
+            _tcount(self._HITS, 1, help="Enrichment cache lookups served warm.")
             return hit
         row = self._pending.get(addr)
         if row is None:
@@ -237,10 +250,15 @@ class EnrichmentCache:
                     int(self._ccs[pos]),
                 )
         if row is None:
+            self.misses += 1
+            _tcount(self._MISSES, 1,
+                    help="Enrichment cache lookups that went to the directory.")
             info = self._directory.lookup(addr)
             return self.prime(
                 addr, classify_querier(info.name, info.status), info.asn, info.country
             )
+        self.hits += 1
+        _tcount(self._HITS, 1, help="Enrichment cache lookups served warm.")
         category_index, asn, cc = row
         hit = ResolvedQuerier(
             addr=addr,
@@ -262,6 +280,8 @@ class EnrichmentCache:
         """
         if addr in self:
             return self.resolve(addr)
+        self.built += 1
+        _tcount(self._BUILT, 1, help="Enrichment cache entries built.")
         category_index = _CATEGORY_INDEX[category]
         cc = -1 if country is None else self._intern_country(country)
         self._pending[addr] = (category_index, -1 if asn is None else asn, cc)
@@ -293,6 +313,8 @@ class EnrichmentCache:
         repeat within the call.
         """
         self._consolidate()
+        self.built += len(addrs)
+        _tcount(self._BUILT, len(addrs), help="Enrichment cache entries built.")
         if len(countries):
             mapping = np.fromiter(
                 (self._intern_country(c) for c in countries), np.int64, len(countries)
@@ -332,6 +354,12 @@ class EnrichmentCache:
         """
         addrs = addrs.astype(np.int64, copy=False)
         unresolved = self.missing(addrs)
+        self.misses += len(unresolved)
+        self.hits += len(addrs) - len(unresolved)
+        _tcount(self._MISSES, len(unresolved),
+                help="Enrichment cache lookups that went to the directory.")
+        _tcount(self._HITS, len(addrs) - len(unresolved),
+                help="Enrichment cache lookups served warm.")
         if len(unresolved):
             self.prime_arrays(unresolved, *enrich_chunk(self._directory, unresolved))
         if len(addrs) == 0:

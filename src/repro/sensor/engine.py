@@ -26,6 +26,16 @@ classify   § III-D/E — majority-vote classification with the configured
 Every stage records :class:`StageStats` (items in/out, dropped, wall
 time), so an engine run can report exactly where volume and time went —
 the baseline that later sharding/batching/caching PRs measure against.
+All stage timing flows through :mod:`repro.telemetry` spans: each
+stage's wall time is measured exactly once (feeding entries is *ingest*
+time, closing/assembling windows is *window* time, and so on), so the
+per-stage seconds sum to approximately the run's wall time.  When a
+:class:`~repro.telemetry.MetricsRegistry` is installed — passed to the
+engine or ambient via :func:`repro.telemetry.install` — the same spans
+also emit ``repro_stage_seconds`` histograms, ``repro_stage_items_total``
+counters, per-window ``repro_window_seconds`` timings, and the
+streaming-collector drop/reorder counters; with none installed the
+instrumentation is a near-no-op.
 
 Configuration that used to be scattered across call sites (window
 length, dedup horizon, reorder slack, analyzability threshold, majority
@@ -35,7 +45,6 @@ runs, classifier factory) is gathered into one frozen
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
@@ -50,6 +59,15 @@ from repro.sensor.directory import QuerierDirectory
 from repro.sensor.features import FeatureSet, features_from_selected
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.streaming import StreamingCollector, StreamingStats
+from repro.telemetry import (
+    MetricsRegistry,
+    count,
+    get_registry,
+    observe,
+    set_gauge,
+    span,
+    use_registry,
+)
 
 __all__ = [
     "SECONDS_PER_DAY",
@@ -155,6 +173,15 @@ class SensedWindow:
     window: ObservationWindow
     features: FeatureSet | None = None
     verdicts: list[ClassifiedOriginator] = field(default_factory=list)
+    telemetry: dict[str, object] | None = None
+    """Per-window observability snapshot, attached by the engine.
+
+    Keys: ``window_start`` / ``window_end``, per-stage counts
+    (``originators``, ``selected``, ``featurized``, ``verdicts``) and a
+    ``seconds`` dict with this window's select/featurize/classify wall
+    times plus ``total``.  Always populated (it reads span wall times,
+    which are measured whether or not a metrics registry is installed).
+    """
 
     @property
     def classification(self) -> dict[int, str]:
@@ -183,9 +210,11 @@ class SensorEngine:
         self,
         directory: QuerierDirectory | None = None,
         config: SensorConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.directory = directory
         self.config = config or SensorConfig()
+        self.registry = registry
         self.stats: dict[str, StageStats] = {
             name: StageStats(name) for name in STAGE_NAMES
         }
@@ -194,6 +223,49 @@ class SensorEngine:
         self._train_y: np.ndarray | None = None
         self._collector: StreamingCollector | None = None
         self._absorbed = StreamingStats()
+
+    # -- telemetry ------------------------------------------------------
+
+    def _scope(self):
+        """Ambient-registry scope for one engine operation.
+
+        Makes an explicitly-passed registry visible to the instrumented
+        internals (enrichment cache, featurize fan-out, classifier)
+        without widening their signatures; with ``registry=None`` the
+        scope keeps whatever is ambient (possibly nothing).
+        """
+        return use_registry(self.registry)
+
+    def _record_stage(
+        self,
+        name: str,
+        items_in: int = 0,
+        items_out: int = 0,
+        dropped: int = 0,
+        seconds: float = 0.0,
+    ) -> None:
+        """Fold one unit of stage work into StageStats + metrics.
+
+        StageStats always updates; the metric emissions no-op unless a
+        registry is in scope.
+        """
+        stage = self.stats[name]
+        stage.items_in += items_in
+        stage.items_out += items_out
+        stage.dropped += dropped
+        stage.seconds += seconds
+        if get_registry() is None:
+            return
+        help_items = "Items through each sensing stage, by direction."
+        count("repro_stage_items_total", items_in,
+              help=help_items, stage=name, direction="in")
+        count("repro_stage_items_total", items_out,
+              help=help_items, stage=name, direction="out")
+        count("repro_stage_items_total", dropped,
+              help=help_items, stage=name, direction="dropped")
+        if seconds > 0.0:
+            observe("repro_stage_seconds", seconds,
+                    help="Wall time per unit of stage work.", stage=name)
 
     # -- ingest + window/dedup (streaming) ------------------------------
 
@@ -213,16 +285,22 @@ class SensorEngine:
         )
 
     def ingest(self, entry: QueryLogEntry) -> None:
-        """Feed one live entry (streaming path)."""
-        started = time.perf_counter()
-        self.collector.ingest(entry)
-        self.stats["window"].seconds += time.perf_counter() - started
+        """Feed one live entry (streaming path).
+
+        Feed time — validation, dedup, and windowing work triggered by
+        the entry's arrival — is ingest-stage time; window-stage time is
+        only accrued when windows are closed (:meth:`poll` /
+        :meth:`finish`), so no wall second is counted twice.
+        """
+        with self._scope(), span("stage.ingest") as sp:
+            self.collector.ingest(entry)
+        self.stats["ingest"].seconds += sp.elapsed
 
     def ingest_many(self, entries: Iterable[QueryLogEntry]) -> None:
         """Feed a chunk of live entries (streaming path)."""
-        started = time.perf_counter()
-        self.collector.ingest_many(entries)
-        self.stats["window"].seconds += time.perf_counter() - started
+        with self._scope(), span("stage.ingest") as sp:
+            self.collector.ingest_many(entries)
+        self.stats["ingest"].seconds += sp.elapsed
 
     def poll(self, classify: bool | None = None) -> list[SensedWindow]:
         """Windows the watermark has closed since the last poll.
@@ -230,17 +308,30 @@ class SensorEngine:
         Each is run through select/featurize (and classify, when the
         engine :attr:`is_fitted` or *classify* is forced true).
         """
-        return [
-            self._sense(window, classify)
-            for window in self.collector.completed_windows()
-        ]
+        with self._scope():
+            with span("stage.window") as sp:
+                completed = self.collector.completed_windows()
+            self.stats["window"].seconds += sp.elapsed
+            if get_registry() is not None:
+                set_gauge(
+                    "repro_stream_pending_entries",
+                    self.collector.pending_entries,
+                    help="Entries buffered awaiting the reorder watermark.",
+                )
+                set_gauge(
+                    "repro_stream_pending_windows",
+                    self.collector.pending_windows,
+                    help="Observation windows still open at the collector.",
+                )
+            return [self._sense(window, classify) for window in completed]
 
     def finish(self, classify: bool | None = None) -> list[SensedWindow]:
         """End of stream: flush still-open windows and sense them."""
-        started = time.perf_counter()
-        flushed = self.collector.flush()
-        self.stats["window"].seconds += time.perf_counter() - started
-        return [self._sense(window, classify) for window in flushed]
+        with self._scope():
+            with span("stage.window") as sp:
+                flushed = self.collector.flush()
+            self.stats["window"].seconds += sp.elapsed
+            return [self._sense(window, classify) for window in flushed]
 
     def _absorb_collector_stats(self) -> None:
         """Fold collector counters into the ingest/window stage stats."""
@@ -251,18 +342,32 @@ class SensorEngine:
             ingested=current.ingested - self._absorbed.ingested,
             deduplicated=current.deduplicated - self._absorbed.deduplicated,
             late_dropped=current.late_dropped - self._absorbed.late_dropped,
+            reordered=current.reordered - self._absorbed.reordered,
             windows_emitted=current.windows_emitted - self._absorbed.windows_emitted,
         )
         self._absorbed = replace(current)
         accepted = delta.ingested - delta.late_dropped
-        ingest = self.stats["ingest"]
-        ingest.items_in += delta.ingested
-        ingest.items_out += accepted
-        ingest.dropped += delta.late_dropped
-        window = self.stats["window"]
-        window.items_in += accepted
-        window.items_out += delta.windows_emitted
-        window.dropped += delta.deduplicated
+        self._record_stage(
+            "ingest",
+            items_in=delta.ingested,
+            items_out=accepted,
+            dropped=delta.late_dropped,
+        )
+        self._record_stage(
+            "window",
+            items_in=accepted,
+            items_out=delta.windows_emitted,
+            dropped=delta.deduplicated,
+        )
+        if get_registry() is not None:
+            count("repro_stream_late_dropped_total", delta.late_dropped,
+                  help="Entries dropped as later than the reorder slack.")
+            count("repro_stream_deduplicated_total", delta.deduplicated,
+                  help="Entries suppressed by the 30s per-pair dedup.")
+            count("repro_stream_reordered_total", delta.reordered,
+                  help="Out-of-order entries accepted within the reorder slack.")
+            count("repro_stream_windows_total", delta.windows_emitted,
+                  help="Observation windows emitted by the collector.")
 
     # -- batch adapters -------------------------------------------------
 
@@ -293,45 +398,54 @@ class SensorEngine:
             dedup_window=self.config.dedup_window,
             reorder_slack=0.0,
         )
-        started = time.perf_counter()
-        ingested = dropped = 0
-        previous_ts = float("-inf")
-        for entry in entries:
-            ingested += 1
-            if not start <= entry.timestamp < end:
-                dropped += 1
-                continue
-            if entry.timestamp < previous_ts:
-                raise ValueError("entries are not time-ordered")
-            previous_ts = entry.timestamp
-            collector.ingest(entry)
-        emitted = {
-            self._index_of(window.start, start, width): window
-            for window in collector.flush()
-        }
-        windows: list[ObservationWindow] = []
-        index = 0
-        window_start = start
-        while window_start < end:
-            window_end = min(window_start + width, end)
-            window = emitted.get(
-                index, ObservationWindow(start=window_start, end=window_end)
+        with self._scope():
+            # Feeding entries (validation + dedup as they arrive) is
+            # ingest time; closing and assembling windows is window
+            # time — each wall second lands in exactly one stage.
+            with span("stage.ingest") as ingest_span:
+                ingested = dropped = 0
+                previous_ts = float("-inf")
+                for entry in entries:
+                    ingested += 1
+                    if not start <= entry.timestamp < end:
+                        dropped += 1
+                        continue
+                    if entry.timestamp < previous_ts:
+                        raise ValueError("entries are not time-ordered")
+                    previous_ts = entry.timestamp
+                    collector.ingest(entry)
+            with span("stage.window") as window_span:
+                emitted = {
+                    self._index_of(window.start, start, width): window
+                    for window in collector.flush()
+                }
+                windows: list[ObservationWindow] = []
+                index = 0
+                window_start = start
+                while window_start < end:
+                    window_end = min(window_start + width, end)
+                    window = emitted.get(
+                        index, ObservationWindow(start=window_start, end=window_end)
+                    )
+                    window.end = window_end
+                    windows.append(window)
+                    index += 1
+                    window_start = window_start + width
+            accepted = ingested - dropped
+            self._record_stage(
+                "ingest",
+                items_in=ingested,
+                items_out=accepted,
+                dropped=dropped,
+                seconds=ingest_span.elapsed,
             )
-            window.end = window_end
-            windows.append(window)
-            index += 1
-            window_start = window_start + width
-        elapsed = time.perf_counter() - started
-        accepted = ingested - dropped
-        ingest = self.stats["ingest"]
-        ingest.items_in += ingested
-        ingest.items_out += accepted
-        ingest.dropped += dropped
-        stage = self.stats["window"]
-        stage.items_in += accepted
-        stage.items_out += len(windows)
-        stage.dropped += collector.stats.deduplicated
-        stage.seconds += elapsed
+            self._record_stage(
+                "window",
+                items_in=accepted,
+                items_out=len(windows),
+                dropped=collector.stats.deduplicated,
+                seconds=window_span.elapsed,
+            )
         return windows
 
     @staticmethod
@@ -360,22 +474,28 @@ class SensorEngine:
         """
         if self.directory is None:
             raise RuntimeError("engine has no querier directory to featurize with")
-        started = time.perf_counter()
-        selected = analyzable(window, self.config.min_queriers)
-        select = self.stats["select"]
-        select.items_in += len(window)
-        select.items_out += len(selected)
-        select.dropped += len(window) - len(selected)
-        select.seconds += time.perf_counter() - started
-        started = time.perf_counter()
-        features = features_from_selected(
-            window, selected, self.directory, workers=self.config.featurize_workers
-        )
-        featurize = self.stats["featurize"]
-        featurize.items_in += len(selected)
-        featurize.items_out += len(features)
-        featurize.dropped += len(selected) - len(features)
-        featurize.seconds += time.perf_counter() - started
+        with self._scope():
+            with span("stage.select") as select_span:
+                selected = analyzable(window, self.config.min_queriers)
+            self._record_stage(
+                "select",
+                items_in=len(window),
+                items_out=len(selected),
+                dropped=len(window) - len(selected),
+                seconds=select_span.elapsed,
+            )
+            with span("stage.featurize") as featurize_span:
+                features = features_from_selected(
+                    window, selected, self.directory,
+                    workers=self.config.featurize_workers,
+                )
+            self._record_stage(
+                "featurize",
+                items_in=len(selected),
+                items_out=len(features),
+                dropped=len(selected) - len(features),
+                seconds=featurize_span.elapsed,
+            )
         return features
 
     # -- classify -------------------------------------------------------
@@ -402,9 +522,10 @@ class SensorEngine:
 
     def fit(self, features: FeatureSet, labeled: LabeledSet) -> "SensorEngine":
         """Train the classify stage on the labeled originators present."""
-        X, y, _ = self.training_data(features, labeled)
-        self._train_X = X
-        self._train_y = y
+        with self._scope(), span("classifier.fit"):
+            X, y, _ = self.training_data(features, labeled)
+            self._train_X = X
+            self._train_y = y
         return self
 
     @property
@@ -429,31 +550,34 @@ class SensorEngine:
         """Majority-vote classification of every originator in *features*."""
         if self._train_X is None or self._train_y is None:
             raise RuntimeError("engine is not fitted")
-        started = time.perf_counter()
-        stage = self.stats["classify"]
-        stage.items_in += len(features)
         if len(features) == 0:
-            stage.seconds += time.perf_counter() - started
+            self._record_stage("classify")
             return []
-        votes = majority_vote_predict(
-            self.config.classifier_factory,
-            self._train_X,
-            self._train_y,
-            features.matrix,
-            runs=self.config.majority_runs,
-            seed=self.config.seed,
-        )
-        names = self.encoder.decode(votes)
-        verdicts = [
-            ClassifiedOriginator(
-                originator=int(features.originators[i]),
-                app_class=names[i],
-                footprint=int(features.footprints[i]),
+        with self._scope():
+            with span("stage.classify") as sp:
+                votes = majority_vote_predict(
+                    self.config.classifier_factory,
+                    self._train_X,
+                    self._train_y,
+                    features.matrix,
+                    runs=self.config.majority_runs,
+                    seed=self.config.seed,
+                )
+                names = self.encoder.decode(votes)
+                verdicts = [
+                    ClassifiedOriginator(
+                        originator=int(features.originators[i]),
+                        app_class=names[i],
+                        footprint=int(features.footprints[i]),
+                    )
+                    for i in range(len(features))
+                ]
+            self._record_stage(
+                "classify",
+                items_in=len(features),
+                items_out=len(verdicts),
+                seconds=sp.elapsed,
             )
-            for i in range(len(features))
-        ]
-        stage.items_out += len(verdicts)
-        stage.seconds += time.perf_counter() - started
         return verdicts
 
     def classify_map(self, features: FeatureSet) -> dict[int, str]:
@@ -467,10 +591,37 @@ class SensorEngine:
     ) -> SensedWindow:
         run_classify = self.is_fitted if classify is None else classify
         sensed = SensedWindow(window=window)
-        if self.directory is not None:
-            sensed.features = self.featurize(window)
-            if run_classify:
-                sensed.verdicts = self.classify(sensed.features)
+        with self._scope():
+            before = {
+                name: self.stats[name].seconds
+                for name in ("select", "featurize", "classify")
+            }
+            selected_before = self.stats["select"].items_out
+            with span("window.sense") as sp:
+                if self.directory is not None:
+                    sensed.features = self.featurize(window)
+                    if run_classify:
+                        sensed.verdicts = self.classify(sensed.features)
+            seconds = {
+                name: self.stats[name].seconds - before[name] for name in before
+            }
+            seconds["total"] = sp.elapsed
+            sensed.telemetry = {
+                "window_start": window.start,
+                "window_end": window.end,
+                "originators": len(window),
+                "selected": self.stats["select"].items_out - selected_before,
+                "featurized": (
+                    len(sensed.features) if sensed.features is not None else 0
+                ),
+                "verdicts": len(sensed.verdicts),
+                "seconds": seconds,
+            }
+            if get_registry() is not None:
+                observe("repro_window_seconds", sp.elapsed,
+                        help="Wall time to sense one observation window.")
+                count("repro_windows_sensed_total", 1,
+                      help="Observation windows run through select/featurize.")
         return sensed
 
     def process(
@@ -486,16 +637,18 @@ class SensorEngine:
         through select/featurize (and classify when fitted, or when
         *classify* is forced true).
         """
-        return [
-            self._sense(window, classify)
-            for window in self.windows(entries, start, end)
-        ]
+        with self._scope(), span("engine.run"):
+            return [
+                self._sense(window, classify)
+                for window in self.windows(entries, start, end)
+            ]
 
     # -- accounting -----------------------------------------------------
 
     def accounting(self) -> list[StageStats]:
         """Per-stage stats for everything this engine has processed."""
-        self._absorb_collector_stats()
+        with self._scope():
+            self._absorb_collector_stats()
         return [self.stats[name] for name in STAGE_NAMES]
 
     def format_accounting(self) -> str:

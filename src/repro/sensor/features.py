@@ -20,6 +20,7 @@ is bit-identical to the serial one.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -36,6 +37,8 @@ from repro.sensor.dynamic import (
 from repro.sensor.keywords import STATIC_CATEGORIES
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.static import STATIC_FEATURE_NAMES, static_features
+from repro.telemetry import get_registry, observe
+from repro.telemetry import span as _tspan
 
 __all__ = [
     "FEATURE_NAMES",
@@ -309,17 +312,30 @@ def _bounds(total: int, parts: int) -> list[tuple[int, int]]:
 
 def _enrichment_task(
     bounds: tuple[int, int],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]:
+) -> tuple[float, tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]]:
+    """One enrichment chunk, with its worker-side wall time prepended."""
     lo, hi = bounds
     assert _POOL_DIRECTORY is not None and _POOL_ADDRS is not None
-    return enrich_chunk(_POOL_DIRECTORY, _POOL_ADDRS[lo:hi])
+    started = time.perf_counter()
+    chunk = enrich_chunk(_POOL_DIRECTORY, _POOL_ADDRS[lo:hi])
+    return time.perf_counter() - started, chunk
 
 
-def _feature_matrix_task(bounds: tuple[int, int]) -> np.ndarray:
+def _feature_matrix_task(bounds: tuple[int, int]) -> tuple[float, np.ndarray]:
+    """One matrix chunk, with its worker-side wall time prepended."""
     lo, hi = bounds
     assert _POOL_DIRECTORY is not None and _POOL_SELECTED is not None
     assert _POOL_CONTEXT is not None
-    return _feature_matrix(_POOL_SELECTED[lo:hi], _POOL_DIRECTORY, _POOL_CONTEXT)
+    started = time.perf_counter()
+    matrix = _feature_matrix(_POOL_SELECTED[lo:hi], _POOL_DIRECTORY, _POOL_CONTEXT)
+    return time.perf_counter() - started, matrix
+
+
+def _observe_chunk(kind: str, seconds: float) -> None:
+    """Record one featurize chunk's wall time (no-op without a registry)."""
+    if get_registry() is not None:
+        observe("repro_featurize_chunk_seconds", seconds,
+                help="Worker-side wall time per featurize chunk.", kind=kind)
 
 
 def _prime_parallel(
@@ -352,7 +368,10 @@ def _prime_parallel(
     try:
         with pool:
             spans = _bounds(len(unresolved), workers)
-            for (lo, hi), chunk in zip(spans, pool.map(_enrichment_task, spans)):
+            for (lo, hi), (elapsed, chunk) in zip(
+                spans, pool.map(_enrichment_task, spans)
+            ):
+                _observe_chunk("enrich", elapsed)
                 cache.prime_arrays(unresolved[lo:hi], *chunk)
     finally:
         _POOL_DIRECTORY = None
@@ -383,12 +402,14 @@ def _parallel_feature_matrix(
     _POOL_CONTEXT = context
     try:
         with pool:
-            parts = list(pool.map(_feature_matrix_task, _bounds(len(selected), workers)))
+            timed = list(pool.map(_feature_matrix_task, _bounds(len(selected), workers)))
     finally:
         _POOL_DIRECTORY = None
         _POOL_SELECTED = None
         _POOL_CONTEXT = None
-    return np.concatenate(parts)
+    for elapsed, _ in timed:
+        _observe_chunk("matrix", elapsed)
+    return np.concatenate([matrix for _, matrix in timed])
 
 
 def features_from_selected(
@@ -420,14 +441,18 @@ def features_from_selected(
     kept = [o for o in selected if o.footprint > 0]
     parallel = workers > 1 and len(kept) >= 2 * workers
     if parallel:
-        _prime_parallel(cache, window, workers)
+        with _tspan("featurize.enrich"):
+            _prime_parallel(cache, window, workers)
     context = WindowContext.from_window(window, cache)
     originators = np.array([o.originator for o in kept], dtype=np.int64)
     footprints = np.array([o.footprint for o in kept], dtype=np.int64)
-    if parallel:
-        matrix = _parallel_feature_matrix(kept, cache, context, workers)
-    else:
-        matrix = _feature_matrix(kept, cache, context)
+    with _tspan("featurize.matrix") as sp:
+        if parallel:
+            matrix = _parallel_feature_matrix(kept, cache, context, workers)
+        else:
+            matrix = _feature_matrix(kept, cache, context)
+    if not parallel:
+        _observe_chunk("serial", sp.elapsed)
     return FeatureSet(
         originators=originators,
         matrix=matrix,

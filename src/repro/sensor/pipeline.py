@@ -1,14 +1,29 @@
-"""Compatibility shim: the classic pipeline API over the staged engine.
+"""Deprecated compatibility shim: the classic pipeline API over the engine.
 
 :class:`BackscatterPipeline` predates :class:`repro.sensor.engine.SensorEngine`
-and is kept as a thin wrapper for existing callers and notebooks: it is
-exactly the engine's select/featurize/classify stages with the classic
-constructor signature.  New code should use the engine directly — it
-adds streaming ingestion, explicit windowing, and per-stage accounting.
+and is kept, **deprecated**, as a thin wrapper for existing callers and
+notebooks: it is exactly the engine's select/featurize/classify stages
+with the classic constructor signature.  Constructing one emits a
+:class:`DeprecationWarning`; every internal call site has been ported.
+Use the engine directly — it adds streaming ingestion, explicit
+windowing, per-stage accounting, and telemetry.  The mapping is
+mechanical (see docs/API.md "Migrating off BackscatterPipeline")::
+
+    BackscatterPipeline(directory, min_queriers=N)
+    # becomes
+    SensorEngine(directory, SensorConfig(min_queriers=N))
+
+    pipeline.features_from_log(authority, start, end)
+    # becomes
+    engine.featurize(engine.collect(authority.log, start, end))
+
+``fit`` / ``classify`` / ``classify_map`` / ``training_data`` keep
+their names and signatures on the engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -30,10 +45,11 @@ __all__ = ["ClassifiedOriginator", "BackscatterPipeline", "default_forest_factor
 
 
 class BackscatterPipeline:
-    """Trainable sensor: fit on labeled examples, classify observations.
+    """Deprecated trainable sensor; use :class:`SensorEngine` instead.
 
     Thin adapter over :class:`~repro.sensor.engine.SensorEngine`; see the
-    engine for the staged API and accounting.
+    engine for the staged API and accounting, and the module docstring
+    for the migration mapping.
 
     Parameters
     ----------
@@ -56,6 +72,13 @@ class BackscatterPipeline:
         min_queriers: int = ANALYZABLE_THRESHOLD,
         seed: int = 0,
     ) -> None:
+        warnings.warn(
+            "BackscatterPipeline is deprecated; use repro.sensor.SensorEngine "
+            "with a SensorConfig (see docs/API.md, 'Migrating off "
+            "BackscatterPipeline')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.engine = SensorEngine(
             directory,
             SensorConfig(

@@ -50,11 +50,20 @@ __all__ = ["StreamingStats", "StreamingCollector"]
 
 @dataclass(slots=True)
 class StreamingStats:
-    """Ingest accounting."""
+    """Ingest accounting.
+
+    ``reordered`` counts entries that arrived behind the newest-seen
+    timestamp but within ``reorder_slack`` — accepted disorder, the
+    reorder buffer's workload.  ``late_dropped`` counts entries beyond
+    the slack, which are dropped.  The engine publishes both (plus
+    dedup and window counts) as telemetry counters when a metrics
+    registry is installed (``repro_stream_*_total``).
+    """
 
     ingested: int = 0
     deduplicated: int = 0
     late_dropped: int = 0
+    reordered: int = 0
     windows_emitted: int = 0
 
 
@@ -140,6 +149,8 @@ class StreamingCollector:
             return
         if entry.timestamp > self._high_water:
             self._high_water = entry.timestamp
+        elif entry.timestamp < self._high_water:
+            self.stats.reordered += 1
         if self.reorder_slack == 0:
             # Fast path: watermark == high water, the entry is released
             # immediately — no buffering needed.

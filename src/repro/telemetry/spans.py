@@ -1,0 +1,160 @@
+"""Lightweight tracing spans over the ambient metrics registry.
+
+A :class:`span` is a context manager that measures wall time and — when
+a :class:`~repro.telemetry.metrics.MetricsRegistry` is installed —
+records it as a ``repro_span_seconds`` histogram observation plus a
+``repro_span_total`` outcome counter.  Spans nest: the engine opens one
+per run, one per window, one per stage, and the enrichment/classify
+internals open their own inside those; each span records its parent's
+name, so traces reconstruct the stage tree without unbounded label
+cardinality.
+
+With **no registry installed the span is a near-no-op**: two
+``perf_counter`` calls and an attribute store.  The elapsed time is
+still measured and exposed as :attr:`span.elapsed`, because the
+engine's :class:`~repro.sensor.engine.StageStats` accounting reads it
+regardless of whether metrics are being collected — tracing degrades,
+accounting doesn't.
+
+The registry is *ambient*: :func:`install` sets a process-wide default,
+and :func:`use_registry` scopes one to a ``with`` block (the engine
+uses it to thread an explicitly-passed registry down through featurize
+and classify without widening every signature).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "span",
+    "install",
+    "get_registry",
+    "use_registry",
+    "current_span_path",
+    "count",
+    "set_gauge",
+    "observe",
+]
+
+_REGISTRY: MetricsRegistry | None = None
+#: Open-span name stack (per process; the sensing engine is single-
+#: threaded per deployment, matching the rest of the repo).
+_STACK: list[str] = []
+
+
+def install(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Set (or clear, with ``None``) the ambient registry; returns the old one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The ambient registry, or ``None`` when telemetry is off."""
+    return _REGISTRY
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry | None]:
+    """Scope *registry* as the ambient one for a ``with`` block.
+
+    ``use_registry(None)`` is a no-op scope that keeps whatever is
+    currently installed — callers with an *optional* registry handle can
+    wrap unconditionally.
+    """
+    if registry is None:
+        yield _REGISTRY
+        return
+    previous = install(registry)
+    try:
+        yield registry
+    finally:
+        install(previous)
+
+
+def current_span_path() -> str:
+    """Dotted path of the open spans (empty when none are open)."""
+    return ".".join(_STACK)
+
+
+class span:
+    """Measure one operation; record it if a registry is installed.
+
+    Usage::
+
+        with span("stage.featurize") as sp:
+            ...work...
+        stats.seconds += sp.elapsed
+
+    Attributes after exit: :attr:`elapsed` (wall seconds),
+    :attr:`outcome` (``"ok"`` or ``"error"``), :attr:`parent` (enclosing
+    span name or ``""``).  Use dotted names for sub-operations
+    (``stage.featurize``, ``featurize.enrich``) — the name is a label on
+    ``repro_span_seconds``, so keep its cardinality bounded (stage names
+    yes, window indexes no).
+    """
+
+    __slots__ = ("name", "elapsed", "outcome", "parent", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.outcome = "ok"
+        self.parent = ""
+        self._started = 0.0
+
+    def __enter__(self) -> "span":
+        if _REGISTRY is not None:
+            self.parent = _STACK[-1] if _STACK else ""
+            _STACK.append(self.name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        registry = _REGISTRY
+        if registry is None:
+            return
+        if _STACK and _STACK[-1] == self.name:
+            _STACK.pop()
+        self.outcome = "ok" if exc_type is None else "error"
+        registry.histogram(
+            "repro_span_seconds",
+            "Wall time of traced operations, by span name and parent.",
+            labels=("span", "parent"),
+        ).observe(self.elapsed, span=self.name, parent=self.parent)
+        registry.counter(
+            "repro_span_total",
+            "Completed traced operations, by span name and outcome.",
+            labels=("span", "outcome"),
+        ).inc(1, span=self.name, outcome=self.outcome)
+
+
+def count(name: str, amount: float = 1.0, help: str = "", **labels: object) -> None:
+    """Increment a counter on the ambient registry (no-op when none)."""
+    registry = _REGISTRY
+    if registry is None or amount == 0:
+        return
+    registry.counter(name, help, labels=tuple(labels)).inc(amount, **labels)
+
+
+def set_gauge(name: str, value: float, help: str = "", **labels: object) -> None:
+    """Set a gauge on the ambient registry (no-op when none)."""
+    registry = _REGISTRY
+    if registry is None:
+        return
+    registry.gauge(name, help, labels=tuple(labels)).set(value, **labels)
+
+
+def observe(name: str, value: float, help: str = "", **labels: object) -> None:
+    """Observe into a histogram on the ambient registry (no-op when none)."""
+    registry = _REGISTRY
+    if registry is None:
+        return
+    registry.histogram(name, help, labels=tuple(labels)).observe(value, **labels)

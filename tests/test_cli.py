@@ -1,8 +1,10 @@
-"""Tests for the command-line interface (generate / classify round trip)."""
+"""Tests for the command-line interface: generate / classify round trip,
+the uniform work-shaping flags, and metrics snapshots."""
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -96,3 +98,134 @@ class TestFigures:
         code = main(["experiments", "--list"])
         assert code == 0
         assert "table3" in capsys.readouterr().out
+
+
+class TestSharedFlags:
+    """--workers / --metrics-out / --metrics-format are uniform across
+    the work-running subcommands."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["classify", "-l", "x", "-d", "y", "-t", "z"],
+            ["figures"],
+            ["experiments", "--list"],
+        ],
+        ids=["classify", "figures", "experiments"],
+    )
+    def test_uniform_flags_accepted(self, argv):
+        args = build_parser().parse_args(
+            argv
+            + ["--workers", "2", "--metrics-out", "m.prom", "--metrics-format", "prom"]
+        )
+        assert args.workers == 2
+        assert args.metrics_out == "m.prom"
+        assert args.metrics_format == "prom"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.workers == 1
+        assert args.metrics_out is None
+        assert args.metrics_format is None
+
+    def test_metrics_format_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figures", "--metrics-out", "m", "--metrics-format", "xml"]
+            )
+
+    def test_metrics_every_only_on_classify(self):
+        args = build_parser().parse_args(
+            ["classify", "-l", "x", "-d", "y", "-t", "z", "--metrics-every", "3"]
+        )
+        assert args.metrics_every == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--metrics-every", "3"])
+
+
+class TestMetricsSnapshots:
+    def _classify_argv(self, generated, *extra):
+        return [
+            "classify",
+            "-l", str(generated / "B-post-ditl.log"),
+            "-d", str(generated / "B-post-ditl.queriers.jsonl"),
+            "-t", str(generated / "B-post-ditl.labels.json"),
+            "--min-queriers", "5",
+            "--top", "2",
+            *extra,
+        ]
+
+    def test_batch_prom_snapshot(self, generated, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(self._classify_argv(
+            generated, "--metrics-out", str(out), "--metrics-format", "prom"
+        ))
+        assert code == 0
+        assert f"wrote prom metrics to {out}" in capsys.readouterr().out
+        text = out.read_text()
+        for family in (
+            "repro_stage_seconds",
+            "repro_stage_items_total",
+            "repro_span_seconds",
+            "repro_enrichment_cache_hits_total",
+        ):
+            assert f"# TYPE {family}" in text, family
+        # Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part.startswith("repro_")
+            float(value)  # parses
+
+    def test_streaming_jsonl_snapshots(self, generated, tmp_path, capsys):
+        out = tmp_path / "metrics.jsonl"
+        code = main(self._classify_argv(
+            generated,
+            "--stream", "--window", "21600",
+            "--metrics-out", str(out), "--metrics-every", "1",
+        ))
+        assert code == 0
+        # Periodic snapshots plus the final one append to the same file.
+        assert capsys.readouterr().out.count(f"wrote jsonl metrics to {out}") >= 2
+        lines = out.read_text().splitlines()
+        assert len(lines) > 0
+        names = set()
+        for line in lines:
+            obj = json.loads(line)
+            names.add(obj["name"])
+        assert "repro_stream_windows_total" in names
+        assert "repro_windows_sensed_total" in names
+
+    def test_no_metrics_flag_writes_nothing(self, generated, tmp_path):
+        code = main(self._classify_argv(generated))
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_experiments_flags_travel_as_env(self, tmp_path, capsys):
+        saved = {
+            key: os.environ.pop(key, None)
+            for key in (
+                "REPRO_FEATURIZE_WORKERS",
+                "REPRO_METRICS_OUT",
+                "REPRO_METRICS_FORMAT",
+            )
+        }
+        try:
+            out = tmp_path / "m.jsonl"
+            code = main([
+                "experiments", "--list",
+                "--workers", "2",
+                "--metrics-out", str(out),
+                "--metrics-format", "jsonl",
+            ])
+            assert code == 0
+            assert os.environ["REPRO_FEATURIZE_WORKERS"] == "2"
+            assert os.environ["REPRO_METRICS_OUT"] == str(out)
+            assert os.environ["REPRO_METRICS_FORMAT"] == "jsonl"
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value

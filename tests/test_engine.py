@@ -9,6 +9,8 @@ filling, final-window clipping, classify-stage reuse).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -137,6 +139,34 @@ class TestStageStats:
         assert stats["ingest"].dropped == 1  # 20.0 is behind the watermark
         assert stats["window"].dropped == 1  # 12.0 dedups against 10.0
         assert stats["window"].items_out == 2
+
+    def test_stage_seconds_sum_tracks_wall_time(self):
+        """Each wall second of a run is attributed to exactly one stage:
+        the per-stage seconds must neither exceed the run's wall time
+        (double counting) nor leave most of it unattributed."""
+        directory = named_directory(range(100, 300))
+        engine = SensorEngine(
+            directory, SensorConfig(window_seconds=100.0, min_queriers=3)
+        )
+        rng = np.random.default_rng(3)
+        entries = sorted(
+            (
+                entry(
+                    float(rng.uniform(0.0, 500.0)),
+                    querier=int(rng.integers(100, 300)),
+                    originator=int(rng.integers(1, 25)),
+                )
+                for _ in range(4000)
+            ),
+            key=lambda e: e.timestamp,
+        )
+        started = time.perf_counter()
+        sensed = engine.process(entries, 0.0, 500.0, classify=False)
+        wall = time.perf_counter() - started
+        assert len(sensed) == 5
+        total = sum(stage.seconds for stage in engine.accounting())
+        assert total <= wall * 1.01
+        assert total >= wall * 0.4
 
     def test_accounting_report_renders(self):
         engine = SensorEngine(config=SensorConfig(window_seconds=100.0))

@@ -13,7 +13,12 @@ import pytest
 from repro.analysis.longitudinal import analyze_dataset, curate_from_window, slice_windows
 from repro.datasets import generate_dataset, spec_for
 from repro.ml import LabelEncoder, RandomForestClassifier, repeated_holdout
-from repro.sensor import BackscatterPipeline, LabeledSet
+from repro.sensor import LabeledSet, SensorConfig, SensorEngine
+
+
+def span_features(engine, authority, start, end):
+    """Featurize one window spanning the whole log (the classic flow)."""
+    return engine.featurize(engine.collect(list(authority.log), start, end))
 
 
 @pytest.fixture(scope="module")
@@ -28,20 +33,16 @@ def tiny_m_sampled():
 
 class TestShortDatasetFlow:
     def test_features_and_truth_alignment(self, tiny_jp):
-        pipeline = BackscatterPipeline(tiny_jp.directory())
-        features = pipeline.features_from_log(
-            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
-        )
+        engine = SensorEngine(tiny_jp.directory())
+        features = span_features(engine, tiny_jp.sensor, 0.0, tiny_jp.duration_seconds)
         assert len(features) >= 20
         truth = tiny_jp.true_classes()
         labeled_fraction = np.mean([int(o) in truth for o in features.originators])
         assert labeled_fraction > 0.95  # analyzable originators are actors
 
     def test_classification_beats_chance_decisively(self, tiny_jp):
-        pipeline = BackscatterPipeline(tiny_jp.directory())
-        features = pipeline.features_from_log(
-            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
-        )
+        engine = SensorEngine(tiny_jp.directory())
+        features = span_features(engine, tiny_jp.sensor, 0.0, tiny_jp.duration_seconds)
         truth = tiny_jp.true_classes()
         names = [truth[int(o)] for o in features.originators if int(o) in truth]
         mask = np.array([int(o) in truth for o in features.originators])
@@ -64,17 +65,15 @@ class TestShortDatasetFlow:
         for example in labeled:
             assert truth[example.originator] == example.app_class
 
-    def test_pipeline_fit_and_classify_roundtrip(self, tiny_jp):
-        pipeline = BackscatterPipeline(tiny_jp.directory(), majority_runs=3)
-        features = pipeline.features_from_log(
-            tiny_jp.sensor, 0.0, tiny_jp.duration_seconds
-        )
+    def test_engine_fit_and_classify_roundtrip(self, tiny_jp):
+        engine = SensorEngine(tiny_jp.directory(), SensorConfig(majority_runs=3))
+        features = span_features(engine, tiny_jp.sensor, 0.0, tiny_jp.duration_seconds)
         truth = tiny_jp.true_classes()
         labeled = LabeledSet.from_pairs(
             (int(o), truth[int(o)]) for o in features.originators if int(o) in truth
         )
-        pipeline.fit(features, labeled)
-        labels = pipeline.classify_map(features)
+        engine.fit(features, labeled)
+        labels = engine.classify_map(features)
         agreement = np.mean([truth.get(o) == c for o, c in labels.items()])
         assert agreement > 0.6
 

@@ -10,6 +10,8 @@ from repro.sensor import (
     BackscatterPipeline,
     LabeledExample,
     LabeledSet,
+    SensorConfig,
+    SensorEngine,
     analyzable,
     rank_by_footprint,
     top_n,
@@ -100,8 +102,8 @@ class TestLabeledSet:
 
 
 @pytest.fixture(scope="module")
-def trained_pipeline(small_world):
-    """A pipeline trained on a fresh 2-day simulation at a JP sensor."""
+def trained_engine(small_world):
+    """An engine trained on a fresh 2-day simulation at a JP sensor."""
     from repro.dnssim import Authority, AuthorityLevel, DnsHierarchy, ResolverConfig
 
     hierarchy = DnsHierarchy(
@@ -129,48 +131,51 @@ def trained_pipeline(small_world):
             engine.add(campaign)
             truth[campaign.originator] = app_class
     engine.run(0.0, 2 * 86400.0)
-    pipeline = BackscatterPipeline(
-        __import__("repro.sensor", fromlist=["WorldDirectory"]).WorldDirectory(small_world),
-        majority_runs=3,
+    from repro.sensor import WorldDirectory
+
+    trained = SensorEngine(
+        WorldDirectory(small_world), SensorConfig(majority_runs=3)
     )
-    features = pipeline.features_from_log(sensor, 0.0, 2 * 86400.0)
+    features = trained.featurize(
+        trained.collect(list(sensor.log), 0.0, 2 * 86400.0)
+    )
     labeled = LabeledSet.from_pairs(
         (int(o), truth[int(o)]) for o in features.originators if int(o) in truth
     )
-    pipeline.fit(features, labeled)
-    return pipeline, features, labeled, truth
+    trained.fit(features, labeled)
+    return trained, features, labeled, truth
 
 
 class TestPipeline:
-    def test_features_extracted(self, trained_pipeline):
-        _, features, labeled, _ = trained_pipeline
+    def test_features_extracted(self, trained_engine):
+        _, features, labeled, _ = trained_engine
         assert len(features) >= 10
         assert len(labeled) >= 10
 
-    def test_classification_returns_known_classes(self, trained_pipeline):
-        pipeline, features, _, _ = trained_pipeline
-        verdicts = pipeline.classify(features)
+    def test_classification_returns_known_classes(self, trained_engine):
+        engine, features, _, _ = trained_engine
+        verdicts = engine.classify(features)
         assert len(verdicts) == len(features)
         for verdict in verdicts:
             assert verdict.app_class in APPLICATION_CLASSES
             assert verdict.footprint >= 20
 
-    def test_training_set_mostly_recovered(self, trained_pipeline):
-        pipeline, features, _, truth = trained_pipeline
-        labels = pipeline.classify_map(features)
+    def test_training_set_mostly_recovered(self, trained_engine):
+        engine, features, _, truth = trained_engine
+        labels = engine.classify_map(features)
         correct = sum(1 for o, c in labels.items() if truth.get(o) == c)
         assert correct / len(labels) > 0.7
 
-    def test_deterministic(self, trained_pipeline):
-        pipeline, features, _, _ = trained_pipeline
-        assert pipeline.classify_map(features) == pipeline.classify_map(features)
+    def test_deterministic(self, trained_engine):
+        engine, features, _, _ = trained_engine
+        assert engine.classify_map(features) == engine.classify_map(features)
 
-    def test_unfitted_pipeline_raises(self, small_world):
+    def test_unfitted_engine_raises(self, small_world):
         from repro.sensor import WorldDirectory
 
-        pipeline = BackscatterPipeline(WorldDirectory(small_world))
+        engine = SensorEngine(WorldDirectory(small_world))
         with pytest.raises(RuntimeError):
-            pipeline.classify_map(
+            engine.classify_map(
                 __import__("repro.sensor", fromlist=["FeatureSet"]).FeatureSet(
                     originators=np.array([], dtype=np.int64),
                     matrix=np.zeros((0, 22)),
@@ -179,11 +184,25 @@ class TestPipeline:
                 )
             )
 
-    def test_fit_requires_overlap(self, trained_pipeline, small_world):
+    def test_fit_requires_overlap(self, trained_engine, small_world):
         from repro.sensor import WorldDirectory
 
-        pipeline = BackscatterPipeline(WorldDirectory(small_world))
-        _, features, _, _ = trained_pipeline
+        engine = SensorEngine(WorldDirectory(small_world))
+        _, features, _, _ = trained_engine
         stranger = LabeledSet.from_pairs([(1, "spam")])
         with pytest.raises(ValueError):
-            pipeline.fit(features, stranger)
+            engine.fit(features, stranger)
+
+
+class TestDeprecatedShim:
+    def test_backscatter_pipeline_warns_but_works(self, trained_engine, small_world):
+        from repro.sensor import WorldDirectory
+
+        engine, features, labeled, _ = trained_engine
+        with pytest.warns(DeprecationWarning, match="SensorEngine"):
+            pipeline = BackscatterPipeline(
+                WorldDirectory(small_world), majority_runs=3
+            )
+        pipeline.fit(features, labeled)
+        # The shim delegates to the engine, so verdicts are identical.
+        assert pipeline.classify_map(features) == engine.classify_map(features)
