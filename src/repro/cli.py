@@ -17,7 +17,10 @@ happens, and ``--metrics-out PATH`` (with ``--metrics-format``)
 installs a :class:`repro.telemetry.MetricsRegistry` over the run and
 writes a snapshot when it finishes — Prometheus text or JSON lines.
 ``repro classify --stream --metrics-every N`` additionally snapshots
-every N sensed windows, the live-deployment cadence.
+every N sensed windows, the live-deployment cadence.  ``repro classify
+--sketch`` (with ``--sketch-width`` / ``--hll-precision``) runs the
+constant-memory probabilistic pre-select stage in both batch and
+``--stream`` modes.
 """
 
 from __future__ import annotations
@@ -52,6 +55,42 @@ def add_workers_option(parser: argparse.ArgumentParser) -> None:
         help="featurize worker processes (1 = serial; results are "
         "bit-identical either way)",
     )
+
+
+def add_sketch_options(parser: argparse.ArgumentParser) -> None:
+    """The probabilistic pre-select knobs (``repro classify``)."""
+    parser.add_argument(
+        "--sketch",
+        action="store_true",
+        help="run the constant-memory sketch pre-select stage: gate "
+        "originators on an approximate unique-querier estimate and "
+        "materialize exact state for survivors only",
+    )
+    parser.add_argument(
+        "--sketch-width",
+        type=int,
+        default=4096,
+        metavar="W",
+        help="count-min sketch width (columns per hash row)",
+    )
+    parser.add_argument(
+        "--hll-precision",
+        type=int,
+        default=6,
+        metavar="P",
+        help="HyperLogLog precision p (2^p registers per originator)",
+    )
+
+
+def _sketch_overrides(args: argparse.Namespace) -> dict:
+    """SensorConfig overrides implied by the sketch flags."""
+    if not getattr(args, "sketch", False):
+        return {}
+    return {
+        "sketch_enabled": True,
+        "sketch_width": args.sketch_width,
+        "hll_precision": args.hll_precision,
+    }
 
 
 def add_metrics_options(
@@ -152,12 +191,18 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             origin=start,
             min_queriers=args.min_queriers,
             featurize_workers=args.workers,
+            **_sketch_overrides(args),
         ),
         registry=registry,
     )
     window = trainer.collect(entries, start, end)
     features = trainer.featurize(window)
-    print(f"{len(window)} originators observed, {len(features)} analyzable")
+    # In sketch mode the window materializes gate survivors only; the
+    # pre-stage still saw (and counts) every originator.
+    observed = (
+        len(window) if window.prestage is None else window.prestage.originators_seen
+    )
+    print(f"{observed} originators observed, {len(features)} analyzable")
     present = labeled.restrict_to({int(o) for o in features.originators})
     if len(present) < 4:
         print("too few labeled originators appear in the log", file=sys.stderr)
@@ -199,6 +244,7 @@ def _classify_stream(
             origin=start,
             min_queriers=args.min_queriers,
             featurize_workers=args.workers,
+            **_sketch_overrides(args),
         ),
         registry=registry,
     )
@@ -319,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage engine accounting after classifying",
     )
+    add_sketch_options(classify)
     add_workers_option(classify)
     add_metrics_options(classify, streaming=True)
     classify.set_defaults(func=_cmd_classify)

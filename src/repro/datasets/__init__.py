@@ -1,0 +1,32 @@
+"""Table I datasets: specs, generation, and serialization (`repro.datasets`).
+
+Layout::
+
+    repro.datasets
+    ├── specs      DatasetSpec / VantageSpec / DATASET_SPECS / spec_for
+    ├── generate   GeneratedDataset / generate_dataset / get_dataset
+    ├── io         text logs + JSONL querier directories
+    └── dnstap     framed binary logs (.rbsc)
+
+``get_dataset("JP-ditl", preset="tiny")`` is the entry point most code
+wants: a memoized, fully simulated collection with its sensor log,
+ground truth, and world attached.
+"""
+
+from repro.datasets.generate import GeneratedDataset, generate_dataset, get_dataset
+from repro.datasets.io import read_directory, read_log, write_directory, write_log
+from repro.datasets.specs import DATASET_SPECS, DatasetSpec, VantageSpec, spec_for
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "GeneratedDataset",
+    "VantageSpec",
+    "generate_dataset",
+    "get_dataset",
+    "read_directory",
+    "read_log",
+    "spec_for",
+    "write_directory",
+    "write_log",
+]

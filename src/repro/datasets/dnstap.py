@@ -1,0 +1,76 @@
+"""Framed binary log format (dnstap-style), ``.rbsc``.
+
+Layout: a 6-byte header (``>4sH``: magic, format version) followed by
+length-prefixed frames — a big-endian ``>H`` byte count, then the frame
+body ``>dII`` (float64 timestamp, uint32 querier, uint32 originator).
+Exact timestamp roundtrips and roughly half the size of the text format,
+at the cost of not being greppable.
+
+Readers validate eagerly and raise ``ValueError`` describing the first
+corruption encountered (bad magic, unsupported version, truncation, or
+a frame whose declared length does not match the record size).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.dnssim.message import QueryLogEntry
+
+__all__ = ["MAGIC", "VERSION", "write_frames", "read_frames", "iter_frames"]
+
+MAGIC = b"RBSC"
+VERSION = 1
+
+_HEADER = struct.Struct(">4sH")
+_LENGTH = struct.Struct(">H")
+_FRAME = struct.Struct(">dII")
+
+
+def write_frames(path: str | Path, entries: Iterable[QueryLogEntry]) -> int:
+    """Write *entries* as a framed binary log; returns the number written."""
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION))
+        length = _LENGTH.pack(_FRAME.size)
+        for entry in entries:
+            handle.write(length)
+            handle.write(_FRAME.pack(entry.timestamp, entry.querier, entry.originator))
+            count += 1
+    return count
+
+
+def iter_frames(path: str | Path) -> Iterator[QueryLogEntry]:
+    """Stream entries from a framed binary log, validating as it reads."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise ValueError(f"{path}: truncated header ({len(header)} bytes)")
+        magic, version = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ValueError(f"{path}: bad magic {magic!r} (expected {MAGIC!r})")
+        if version != VERSION:
+            raise ValueError(f"{path}: unsupported version {version} (expected {VERSION})")
+        while True:
+            prefix = handle.read(_LENGTH.size)
+            if not prefix:
+                return
+            if len(prefix) < _LENGTH.size:
+                raise ValueError(f"{path}: truncated frame length prefix")
+            (length,) = _LENGTH.unpack(prefix)
+            if length != _FRAME.size:
+                raise ValueError(
+                    f"{path}: invalid frame length {length} (expected {_FRAME.size})"
+                )
+            body = handle.read(length)
+            if len(body) < length:
+                raise ValueError(f"{path}: truncated frame body ({len(body)}/{length} bytes)")
+            timestamp, querier, originator = _FRAME.unpack(body)
+            yield QueryLogEntry(timestamp=timestamp, querier=querier, originator=originator)
+
+
+def read_frames(path: str | Path) -> list[QueryLogEntry]:
+    """All entries of a framed binary log as a list."""
+    return list(iter_frames(path))

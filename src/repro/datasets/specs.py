@@ -1,0 +1,234 @@
+"""Table I dataset specifications.
+
+Each paper dataset is a :class:`DatasetSpec`: which vantage point logged
+(root letter / national scope, sampling), how long, and which activity
+scenario ran underneath.  ``spec_for(name, preset)`` resolves a named
+spec; the ``tiny`` preset shrinks the world, the cast of actors, and the
+duration so integration tests regenerate a dataset in seconds.
+
+The specs pin the paper's observation setup (Table I): the three DITL
+snapshots (JP national, B-Root, M-Root), the 2015 re-collection, the
+nine-month 1:10-sampled M-Root feed that anchors the longitudinal
+analyses (§ V), and the two long B-Root collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.activity.scenario import ScenarioConfig
+
+__all__ = [
+    "HEARTBLEED_DAY",
+    "VantageSpec",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "PRESETS",
+    "spec_for",
+]
+
+#: Day offset of the Heartbleed disclosure (2014-04-07) into the
+#: M-sampled collection, which starts 2014-02-06.  § V-C reads the scan
+#: surge off this date.
+HEARTBLEED_DAY: float = 60.0
+
+#: Duration cap for the ``tiny`` preset, chosen so the tiny M-sampled
+#: dataset yields exactly two 7-day observation windows.
+_TINY_DURATION_DAYS = 14.0
+_TINY_WORLD_SCALE = 0.3
+_TINY_ACTOR_FRACTION = 0.5
+
+PRESETS = ("default", "tiny")
+
+
+@dataclass(frozen=True, slots=True)
+class VantageSpec:
+    """Where the sensor sits in the reverse hierarchy (Table I, col. 2)."""
+
+    name: str
+    kind: str
+    """``"root"`` or ``"national"``."""
+    root_letter: str | None = None
+    country: str | None = None
+    sampling: int = 1
+    """Log every N-th arriving reverse query (M-sampled's 1:10)."""
+    sites: int = 1
+    """Anycast site count, reported in Table I."""
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """One Table I dataset: vantage + scenario + bookkeeping.
+
+    ``duration_days`` is authoritative for generation; ``paper_duration``
+    / ``paper_sampling`` / ``start_date`` / ``forward_qps`` exist only so
+    the Table I experiment can render the paper's reporting columns.
+    """
+
+    name: str
+    seed: int
+    duration_days: float
+    world_scale: float
+    vantage: VantageSpec
+    scenario: ScenarioConfig
+    start_date: str
+    paper_duration: str | None = None
+    paper_sampling: str = "none"
+    forward_qps: float = 0.0
+    preset: str = "default"
+
+
+def _scenario(
+    seed: int,
+    duration_days: float,
+    heartbleed_day: float | None = None,
+    force_home_country: str | None = None,
+    audience_scale: float = 1.0,
+) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=seed,
+        duration_days=duration_days,
+        heartbleed_day=heartbleed_day,
+        force_home_country=force_home_country,
+        audience_scale=audience_scale,
+    )
+
+
+_JP_VANTAGE = VantageSpec(name="JP-DNS", kind="national", country="jp", sites=2)
+_B_VANTAGE = VantageSpec(name="B-Root", kind="root", root_letter="b", sites=1)
+_M_VANTAGE = VantageSpec(name="M-Root", kind="root", root_letter="m", sites=7)
+_M_SAMPLED_VANTAGE = replace(_M_VANTAGE, sampling=10)
+
+#: The seven paper datasets (Table I), keyed by name.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="JP-ditl",
+            seed=2101,
+            duration_days=50 / 24,
+            world_scale=1.0,
+            vantage=_JP_VANTAGE,
+            scenario=_scenario(3101, 50 / 24, force_home_country="jp"),
+            start_date="2014-04-28",
+            paper_duration="50 hours",
+            forward_qps=55.0,
+        ),
+        DatasetSpec(
+            name="B-post-ditl",
+            seed=2102,
+            duration_days=36 / 24,
+            world_scale=1.0,
+            vantage=_B_VANTAGE,
+            scenario=_scenario(3102, 36 / 24),
+            start_date="2014-05-03",
+            paper_duration="36 hours",
+            forward_qps=110.0,
+        ),
+        DatasetSpec(
+            name="M-ditl",
+            seed=2103,
+            duration_days=50 / 24,
+            world_scale=1.0,
+            vantage=_M_VANTAGE,
+            scenario=_scenario(3103, 50 / 24),
+            start_date="2014-04-28",
+            paper_duration="50 hours",
+            forward_qps=95.0,
+        ),
+        DatasetSpec(
+            name="M-ditl-2015",
+            seed=2104,
+            duration_days=50 / 24,
+            world_scale=1.0,
+            vantage=_M_VANTAGE,
+            scenario=_scenario(3104, 50 / 24),
+            start_date="2015-04-13",
+            paper_duration="50 hours",
+            forward_qps=105.0,
+        ),
+        DatasetSpec(
+            name="M-sampled",
+            seed=2105,
+            duration_days=270.0,
+            world_scale=0.7,
+            vantage=_M_SAMPLED_VANTAGE,
+            scenario=_scenario(3105, 270.0, heartbleed_day=HEARTBLEED_DAY),
+            start_date="2014-02-06",
+            paper_duration="9 months",
+            paper_sampling="1:10",
+            forward_qps=9.5,
+        ),
+        DatasetSpec(
+            name="B-long",
+            seed=2106,
+            duration_days=68.0,
+            world_scale=0.8,
+            vantage=_B_VANTAGE,
+            scenario=_scenario(3106, 68.0),
+            start_date="2014-09-14",
+            paper_duration="68 days",
+            forward_qps=110.0,
+        ),
+        DatasetSpec(
+            name="B-multi-year",
+            seed=2107,
+            duration_days=540.0,
+            world_scale=0.5,
+            vantage=_B_VANTAGE,
+            scenario=_scenario(3107, 540.0),
+            start_date="2013-06-01",
+            paper_duration="18 months",
+            forward_qps=100.0,
+        ),
+    )
+}
+
+
+def _tiny_actors(initial: dict[str, int]) -> dict[str, int]:
+    """Shrink the cast while keeping every class represented."""
+    return {
+        app_class: max(1, round(count * _TINY_ACTOR_FRACTION))
+        for app_class, count in initial.items()
+    }
+
+
+def _tiny(spec: DatasetSpec) -> DatasetSpec:
+    duration = min(spec.duration_days, _TINY_DURATION_DAYS)
+    scenario = spec.scenario
+    heartbleed = scenario.heartbleed_day
+    if heartbleed is not None:
+        # Keep the surge inside the shortened span (with room to ramp).
+        heartbleed = min(heartbleed, duration / 2.0)
+    tiny_scenario = replace(
+        scenario,
+        duration_days=duration,
+        initial_actors=_tiny_actors(scenario.initial_actors),
+        weekly_arrivals={k: v * _TINY_ACTOR_FRACTION for k, v in scenario.weekly_arrivals.items()},
+        heartbleed_day=heartbleed,
+        heartbleed_extra_scanners=max(2, scenario.heartbleed_extra_scanners // 2),
+    )
+    return replace(
+        spec,
+        duration_days=duration,
+        world_scale=min(spec.world_scale, _TINY_WORLD_SCALE),
+        scenario=tiny_scenario,
+        preset="tiny",
+    )
+
+
+def spec_for(name: str, preset: str = "default") -> DatasetSpec:
+    """The spec for one Table I dataset, under one preset.
+
+    Raises ``ValueError`` for unknown dataset names or presets.
+    """
+    spec = DATASET_SPECS.get(name)
+    if spec is None:
+        known = ", ".join(sorted(DATASET_SPECS))
+        raise ValueError(f"unknown dataset {name!r} (known: {known})")
+    if preset not in PRESETS:
+        known = ", ".join(PRESETS)
+        raise ValueError(f"unknown preset {preset!r} (known: {known})")
+    if preset == "tiny":
+        return _tiny(spec)
+    return spec

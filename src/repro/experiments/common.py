@@ -26,6 +26,7 @@ __all__ = [
     "LabeledFeatures",
     "sensor_config",
     "featurize_workers",
+    "sketch_overrides",
     "labeled_features",
     "windowed",
     "format_rows",
@@ -87,6 +88,7 @@ def sensor_config(name: str, preset: str = "default", **overrides) -> SensorConf
         window_seconds=window_days * SECONDS_PER_DAY,
         min_queriers=MIN_QUERIERS.get(name, 20),
         featurize_workers=featurize_workers(),
+        **sketch_overrides(),
     )
     return config.replaced(**overrides) if overrides else config
 
@@ -103,6 +105,34 @@ def featurize_workers() -> int:
         return max(1, int(os.environ.get("REPRO_FEATURIZE_WORKERS", "1")))
     except ValueError:
         return 1
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def sketch_overrides() -> dict:
+    """Sketch pre-stage knobs from the environment, as config overrides.
+
+    ``REPRO_SKETCH=1`` enables the probabilistic pre-select stage for
+    every experiment-built :class:`SensorConfig`;
+    ``REPRO_SKETCH_WIDTH`` / ``REPRO_SKETCH_DEPTH`` /
+    ``REPRO_SKETCH_HLL_PRECISION`` tune its geometry.  Like
+    ``REPRO_FEATURIZE_WORKERS``, these travel as environment variables
+    because the experiment caches are keyed by dataset, not by knob.
+    Unset (or ``REPRO_SKETCH`` falsy) → no overrides.
+    """
+    if os.environ.get("REPRO_SKETCH", "").lower() not in ("1", "true", "yes", "on"):
+        return {}
+    return {
+        "sketch_enabled": True,
+        "sketch_width": _env_int("REPRO_SKETCH_WIDTH", 4096),
+        "sketch_depth": _env_int("REPRO_SKETCH_DEPTH", 4),
+        "hll_precision": _env_int("REPRO_SKETCH_HLL_PRECISION", 6),
+    }
 
 
 def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:

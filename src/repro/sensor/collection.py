@@ -12,8 +12,14 @@ from __future__ import annotations
 
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.dnssim.message import QueryLogEntry
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.sketch.prestage import SketchPreStage
 
 __all__ = [
     "DEDUP_WINDOW_SECONDS",
@@ -89,6 +95,17 @@ class ObservationWindow:
     start: float
     end: float
     observations: dict[int, OriginatorObservation] = field(default_factory=dict)
+    prestage: "SketchPreStage | None" = field(default=None, compare=False, repr=False)
+    """The probabilistic pre-select summary of this window, when the
+    engine ran with ``sketch_enabled`` (see :mod:`repro.sketch.prestage`).
+    In sketch mode ``observations`` holds only gate survivors; the
+    pre-stage retains approximate counts for everything else."""
+    querier_roster: "np.ndarray | None" = field(default=None, compare=False, repr=False)
+    """Sorted exact array of *every* querier address seen in the window
+    (pre-gate), attached alongside ``prestage``.  Dynamic features
+    normalize by the window-wide querier universe, so sketch-mode
+    windows carry it explicitly instead of unioning the (survivors-only)
+    observations."""
 
     @property
     def duration_days(self) -> float:

@@ -70,17 +70,24 @@ class WindowContext:
         cls, window: ObservationWindow, directory: QuerierDirectory
     ) -> "WindowContext":
         cache = EnrichmentCache.ensure(directory)
-        queriers: set[int] = set()
-        for observation in window.observations.values():
-            queriers |= observation.unique_queriers
-        addrs = np.fromiter(queriers, np.int64, len(queriers))
+        if window.querier_roster is not None:
+            # Sketch-mode windows materialize survivors only, but carry
+            # the exact pre-gate querier roster — use it so the
+            # normalizers match what the exact path would compute over
+            # the full window.
+            addrs = np.asarray(window.querier_roster, dtype=np.int64)
+        else:
+            queriers: set[int] = set()
+            for observation in window.observations.values():
+                queriers |= observation.unique_queriers
+            addrs = np.fromiter(queriers, np.int64, len(queriers))
         _, asns, country_codes = cache.codes(addrs)
         return cls(
             start=window.start,
             end=window.end,
             total_ases=max(1, len(np.unique(asns[asns >= 0]))),
             total_countries=max(1, len(np.unique(country_codes[country_codes >= 0]))),
-            total_queriers=max(1, len(queriers)),
+            total_queriers=max(1, len(addrs)),
         )
 
 

@@ -45,7 +45,9 @@ runs, classifier factory) is gathered into one frozen
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+from itertools import compress
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -59,6 +61,7 @@ from repro.sensor.directory import QuerierDirectory
 from repro.sensor.features import FeatureSet, features_from_selected
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.streaming import StreamingCollector, StreamingStats
+from repro.sketch.prestage import SketchParams, SketchPreStage
 from repro.telemetry import (
     MetricsRegistry,
     count,
@@ -122,6 +125,35 @@ class SensorConfig:
     Chunked by originator, so the parallel output is bit-identical to
     the serial path (see :func:`repro.sensor.features.features_from_selected`).
     """
+    sketch_enabled: bool = False
+    """Run the probabilistic pre-select stage (:mod:`repro.sketch`).
+
+    Batch paths gate originators on an HLL unique-querier estimate and
+    materialize exact observations for survivors only (two passes —
+    survivor features are bit-identical to the exact path); the
+    streaming path promotes originators to exact state once their
+    estimate reaches the promote threshold (single pass).
+    """
+    sketch_width: int = 4096
+    """Count-min sketch columns per row (per-originator query counts)."""
+    sketch_depth: int = 4
+    """Count-min sketch rows (independent hash functions)."""
+    hll_precision: int = 6
+    """HyperLogLog precision p — ``2^p`` registers per originator."""
+    sketch_fp_rate: float = 0.01
+    """Dedup Bloom filter false-positive budget at ``sketch_capacity``."""
+    sketch_capacity: int = 1 << 20
+    """Distinct (originator, querier, 30 s bucket) events the dedup
+    filter is sized for."""
+    sketch_margin: float = 0.5
+    """One-sided error margin of the approximate gate: the HLL estimate
+    is compared against ``(1 - margin) * min_queriers`` so that HLL
+    underestimation cannot silently drop analyzable originators.  The
+    exact ``min_queriers`` gate still applies at the select stage."""
+    sketch_promote_queriers: int = 0
+    """Streaming mode: estimate at which an originator starts
+    materializing exact state.  0 = auto (``min(4, gate)``); an explicit
+    value must not exceed the approximate gate threshold."""
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -136,10 +168,53 @@ class SensorConfig:
             raise ValueError("majority_runs must be positive")
         if self.featurize_workers < 1:
             raise ValueError("featurize_workers must be positive")
+        if self.sketch_width < 1:
+            raise ValueError("sketch_width must be positive")
+        if self.sketch_depth < 1:
+            raise ValueError("sketch_depth must be positive")
+        if not 4 <= self.hll_precision <= 16:
+            raise ValueError("hll_precision must be in [4, 16]")
+        if not 0.0 < self.sketch_fp_rate < 1.0:
+            raise ValueError("sketch_fp_rate must be in (0, 1)")
+        if self.sketch_capacity < 1:
+            raise ValueError("sketch_capacity must be positive")
+        if not 0.0 <= self.sketch_margin < 1.0:
+            raise ValueError("sketch_margin must be in [0, 1)")
+        if self.sketch_promote_queriers < 0:
+            raise ValueError("sketch_promote_queriers must be non-negative (0 = auto)")
+        if (
+            self.sketch_promote_queriers > 0
+            and self.sketch_promote_queriers > self.sketch_gate_queriers
+        ):
+            raise ValueError(
+                "sketch_promote_queriers must not exceed the approximate gate "
+                f"threshold ({self.sketch_gate_queriers})"
+            )
 
     @property
     def window_days(self) -> float:
         return self.window_seconds / SECONDS_PER_DAY
+
+    @property
+    def sketch_gate_queriers(self) -> int:
+        """The approximate gate threshold the HLL estimate is held to."""
+        return max(1, math.ceil((1.0 - self.sketch_margin) * self.min_queriers))
+
+    def sketch_params(self) -> SketchParams:
+        """The :class:`~repro.sketch.prestage.SketchParams` this config implies."""
+        gate = self.sketch_gate_queriers
+        promote = self.sketch_promote_queriers or min(4, gate)
+        return SketchParams(
+            width=self.sketch_width,
+            depth=self.sketch_depth,
+            hll_precision=self.hll_precision,
+            fp_rate=self.sketch_fp_rate,
+            capacity=self.sketch_capacity,
+            gate_queriers=gate,
+            promote_queriers=promote,
+            dedup_seconds=self.dedup_window,
+            seed=self.seed,
+        )
 
     def replaced(self, **overrides: object) -> "SensorConfig":
         """A copy with the given fields overridden (validated again)."""
@@ -267,6 +342,35 @@ class SensorEngine:
             observe("repro_stage_seconds", seconds,
                     help="Wall time per unit of stage work.", stage=name)
 
+    def _emit_sketch_metrics(self, prestage, selected) -> None:
+        """Publish one window's pre-stage counters (registry in scope)."""
+        help_gate = "Originators through the approximate analyzability gate."
+        count("repro_sketch_gate_originators_total", prestage.gate_kept,
+              help=help_gate, result="kept")
+        count("repro_sketch_gate_originators_total", prestage.gate_dropped,
+              help=help_gate, result="dropped")
+        help_events = "Events through the sketch pre-stage, by outcome."
+        count("repro_sketch_events_total", prestage.events_unique,
+              help=help_events, result="unique")
+        count("repro_sketch_events_total", prestage.events_duplicate,
+              help=help_events, result="duplicate")
+        count("repro_sketch_events_total", prestage.events_deferred,
+              help=help_events, result="deferred")
+        for structure, nbytes in prestage.memory_bytes().items():
+            set_gauge("repro_sketch_memory_bytes", nbytes,
+                      help="Bytes held by each pre-stage structure.",
+                      structure=structure)
+        if prestage.exact_observations and selected:
+            # Batch mode: survivors carry exact footprints, so the HLL's
+            # relative estimate error is directly measurable.
+            errors = prestage.error_against(
+                {o.originator: o.footprint for o in selected}
+            )
+            for error in errors:
+                observe("repro_sketch_estimate_error", float(error),
+                        help="Relative HLL unique-querier estimate error "
+                        "over exactly-materialized originators.")
+
     # -- ingest + window/dedup (streaming) ------------------------------
 
     @property
@@ -277,11 +381,16 @@ class SensorEngine:
         return self._collector
 
     def _new_collector(self, origin: float) -> StreamingCollector:
+        factory = None
+        if self.config.sketch_enabled:
+            params = self.config.sketch_params()
+            factory = lambda: SketchPreStage(params)  # noqa: E731
         return StreamingCollector(
             window_seconds=self.config.window_seconds,
             origin=origin,
             dedup_window=self.config.dedup_window,
             reorder_slack=self.config.reorder_slack,
+            prestage_factory=factory,
         )
 
     def ingest(self, entry: QueryLogEntry) -> None:
@@ -392,6 +501,8 @@ class SensorEngine:
         width = self.config.window_seconds if window_seconds is None else window_seconds
         if width <= 0:
             raise ValueError("window_seconds must be positive")
+        if self.config.sketch_enabled:
+            return self._windows_sketch(entries, start, end, width)
         collector = StreamingCollector(
             window_seconds=width,
             origin=start,
@@ -448,6 +559,137 @@ class SensorEngine:
             )
         return windows
 
+    def _windows_sketch(
+        self,
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        start: float,
+        end: float,
+        width: float,
+    ) -> list[ObservationWindow]:
+        """Sketch-mode :meth:`windows`: approximate gate, then exact pass.
+
+        Pass 1 streams every in-range event through one window-scoped
+        :class:`~repro.sketch.prestage.SketchPreStage` (vectorized) and
+        reads the approximate-gate survivors.  Pass 2 runs only survivor
+        events through the unchanged exact collector, so survivor
+        observations — and therefore their feature rows — are
+        bit-identical to the exact path.  Gated-out events are window-
+        stage drops; pass-1 wall time is select-stage time (it *is* the
+        approximate select).
+        """
+        params = self.config.sketch_params()
+        with self._scope():
+            with span("stage.ingest") as ingest_span:
+                # A boolean in-range mask over the input sequence (1 byte
+                # per event) instead of a copied entry-reference list —
+                # pass 2 re-reads survivors straight off *entries*.
+                if not isinstance(entries, Sequence):
+                    entries = list(entries)
+                ingested = len(entries)
+                in_range = np.zeros(ingested, dtype=bool)
+                previous_ts = float("-inf")
+                for j, entry in enumerate(entries):
+                    if not start <= entry.timestamp < end:
+                        continue
+                    if entry.timestamp < previous_ts:
+                        raise ValueError("entries are not time-ordered")
+                    previous_ts = entry.timestamp
+                    in_range[j] = True
+                n = int(in_range.sum())
+                dropped = ingested - n
+            with span("stage.select") as select_span:
+                timestamps = np.fromiter(
+                    (e.timestamp for e in compress(entries, in_range)), np.float64, n
+                )
+                queriers = np.fromiter(
+                    (e.querier for e in compress(entries, in_range)), np.int64, n
+                )
+                originators = np.fromiter(
+                    (e.originator for e in compress(entries, in_range)), np.int64, n
+                )
+                # Entries are time-ordered, so window indices are
+                # non-decreasing and each window is a contiguous slice.
+                indices = ((timestamps - start) // width).astype(np.int64)
+                uniq, bounds = np.unique(indices, return_index=True)
+                bounds = np.append(bounds, n)
+                prestages: dict[int, SketchPreStage] = {}
+                survivor_mask = np.zeros(n, dtype=bool)
+                for k, window_index in enumerate(uniq):
+                    lo, hi = int(bounds[k]), int(bounds[k + 1])
+                    prestage = SketchPreStage(params)
+                    prestage.exact_observations = True
+                    prestage.observe_batch(
+                        timestamps[lo:hi], queriers[lo:hi], originators[lo:hi]
+                    )
+                    prestages[int(window_index)] = prestage
+                    survivor_mask[lo:hi] = np.isin(
+                        originators[lo:hi], prestage.survivors()
+                    )
+                gated_events = int(n - int(survivor_mask.sum()))
+                # Expand the (in-range-relative) survivor mask back over
+                # the full input sequence, then drop pass 1's whole-log
+                # arrays — dead weight during the exact pass — so
+                # sketch-mode peak memory stays bounded by survivor
+                # state, not log size.
+                in_range[in_range] = survivor_mask
+                del timestamps, queriers, originators, indices, survivor_mask
+            collector = StreamingCollector(
+                window_seconds=width,
+                origin=start,
+                dedup_window=self.config.dedup_window,
+                reorder_slack=0.0,
+            )
+            with span("stage.window") as window_span:
+                for entry in compress(entries, in_range):
+                    collector.ingest(entry)
+                del in_range
+                emitted = {
+                    self._index_of(window.start, start, width): window
+                    for window in collector.flush()
+                }
+                windows: list[ObservationWindow] = []
+                index = 0
+                window_start = start
+                while window_start < end:
+                    window_end = min(window_start + width, end)
+                    window = emitted.get(
+                        index, ObservationWindow(start=window_start, end=window_end)
+                    )
+                    window.end = window_end
+                    prestage = prestages.get(index)
+                    if prestage is not None:
+                        window.prestage = prestage
+                        window.querier_roster = prestage.roster_array()
+                    windows.append(window)
+                    index += 1
+                    window_start = window_start + width
+            accepted = ingested - dropped
+            self._record_stage(
+                "ingest",
+                items_in=ingested,
+                items_out=accepted,
+                dropped=dropped,
+                seconds=ingest_span.elapsed,
+            )
+            # Item accounting for the select stage happens per window at
+            # featurize time (where the exact gate also runs); pass 1
+            # contributes its wall time here.
+            self._record_stage("select", seconds=select_span.elapsed)
+            self._record_stage(
+                "window",
+                items_in=accepted,
+                items_out=len(windows),
+                dropped=collector.stats.deduplicated + gated_events,
+                seconds=window_span.elapsed,
+            )
+            if get_registry() is not None:
+                count(
+                    "repro_sketch_events_total", gated_events,
+                    help="Events through the sketch pre-stage, by outcome.",
+                    result="gated",
+                )
+        return windows
+
     @staticmethod
     def _index_of(window_start: float, origin: float, width: float) -> int:
         return int(round((window_start - origin) / width))
@@ -477,13 +719,26 @@ class SensorEngine:
         with self._scope():
             with span("stage.select") as select_span:
                 selected = analyzable(window, self.config.min_queriers)
+            prestage = window.prestage
+            # With a pre-stage, the select stage saw every originator the
+            # sketch summarized, not just the gate survivors the window
+            # materialized — account for the approximately-gated ones too.
+            items_in = len(window) if prestage is None else prestage.originators_seen
             self._record_stage(
                 "select",
-                items_in=len(window),
+                items_in=items_in,
                 items_out=len(selected),
-                dropped=len(window) - len(selected),
+                dropped=items_in - len(selected),
                 seconds=select_span.elapsed,
             )
+            if get_registry() is not None:
+                help_select = "Originators through the select stage, by outcome."
+                count("repro_select_originators_total", len(selected),
+                      help=help_select, result="kept")
+                count("repro_select_originators_total", items_in - len(selected),
+                      help=help_select, result="dropped")
+                if prestage is not None:
+                    self._emit_sketch_metrics(prestage, selected)
             with span("stage.featurize") as featurize_span:
                 features = features_from_selected(
                     window, selected, self.directory,
@@ -617,6 +872,17 @@ class SensorEngine:
                 "verdicts": len(sensed.verdicts),
                 "seconds": seconds,
             }
+            if window.prestage is not None:
+                prestage = window.prestage
+                sensed.telemetry["sketch"] = {
+                    "originators_seen": prestage.originators_seen,
+                    "gate_kept": prestage.gate_kept,
+                    "gate_dropped": prestage.gate_dropped,
+                    "events_unique": prestage.events_unique,
+                    "events_duplicate": prestage.events_duplicate,
+                    "events_deferred": prestage.events_deferred,
+                    "memory_bytes": prestage.memory_bytes(),
+                }
             if get_registry() is not None:
                 observe("repro_window_seconds", sp.elapsed,
                         help="Wall time to sense one observation window.")

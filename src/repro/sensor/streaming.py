@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.dnssim.message import QueryLogEntry
 from repro.sensor.collection import (
@@ -44,6 +44,9 @@ from repro.sensor.collection import (
     ObservationWindow,
     OriginatorObservation,
 )
+
+if TYPE_CHECKING:
+    from repro.sketch.prestage import SketchPreStage
 
 __all__ = ["StreamingStats", "StreamingCollector"]
 
@@ -90,6 +93,16 @@ class StreamingCollector:
         reordering can never mutate an emitted window.
     on_window:
         Optional callback invoked with each completed window.
+    prestage_factory:
+        Optional factory building one
+        :class:`~repro.sketch.prestage.SketchPreStage` per observation
+        window (sketch mode, single-pass).  When set, the pre-stage
+        replaces the exact dedup dict: every processed entry is first
+        summarized, ``DUPLICATE`` verdicts are counted as deduplicated,
+        ``DEFER`` verdicts are summarized but not materialized, and only
+        ``KEEP`` verdicts (promoted originators) build exact
+        observations.  Emitted windows carry the pre-stage and its exact
+        querier roster (``window.prestage`` / ``window.querier_roster``).
     """
 
     def __init__(
@@ -99,6 +112,7 @@ class StreamingCollector:
         dedup_window: float = DEDUP_WINDOW_SECONDS,
         reorder_slack: float = 2.0,
         on_window: Callable[[ObservationWindow], None] | None = None,
+        prestage_factory: "Callable[[], SketchPreStage] | None" = None,
     ) -> None:
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
@@ -122,6 +136,8 @@ class StreamingCollector:
         self._last_kept: dict[tuple[int, int], float] = {}
         self._open: dict[int, ObservationWindow] = {}
         self._ready: list[ObservationWindow] = []
+        self._prestage_factory = prestage_factory
+        self._prestage: "SketchPreStage | None" = None
 
     # ------------------------------------------------------------------
 
@@ -194,6 +210,11 @@ class StreamingCollector:
             # new one (time-ordered processing ⇒ indices never go back).
             self._dedup_index = index
             self._last_kept = {}
+            if self._prestage_factory is not None:
+                self._prestage = self._prestage_factory()
+        if self._prestage is not None:
+            self._process_sketched(entry, index)
+            return
         key = (entry.querier, entry.originator)
         last = self._last_kept.get(key)
         if last is not None and entry.timestamp - last < self.dedup_window:
@@ -207,7 +228,35 @@ class StreamingCollector:
             window.observations[entry.originator] = observation
         observation.add(entry.timestamp, entry.querier)
 
+    def _process_sketched(self, entry: QueryLogEntry, index: int) -> None:
+        """Sketch mode: summarize first, materialize only KEEP verdicts.
+
+        The pre-stage's bucketed Bloom filter takes over duplicate
+        suppression, so the exact ``_last_kept`` dict never grows — the
+        constant-memory property sketch mode exists for.
+        """
+        from repro.sketch.prestage import DEFER, DUPLICATE
+
+        verdict = self._prestage.observe(
+            entry.timestamp, entry.querier, entry.originator
+        )
+        if verdict == DUPLICATE:
+            self.stats.deduplicated += 1
+            return
+        window = self._window_for(index)
+        if window.prestage is None:
+            window.prestage = self._prestage
+        if verdict == DEFER:
+            return
+        observation = window.observations.get(entry.originator)
+        if observation is None:
+            observation = OriginatorObservation(originator=entry.originator)
+            window.observations[entry.originator] = observation
+        observation.add(entry.timestamp, entry.querier)
+
     def _emit(self, window: ObservationWindow) -> None:
+        if window.prestage is not None and window.querier_roster is None:
+            window.querier_roster = window.prestage.roster_array()
         self.stats.windows_emitted += 1
         self._emitted_through = max(self._emitted_through, window.end)
         self._ready.append(window)

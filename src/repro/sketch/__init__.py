@@ -1,0 +1,37 @@
+"""Probabilistic summaries for line-rate sensing (`repro.sketch`).
+
+Dependency-free (numpy-backed) sketch structures plus the window-scoped
+pre-select stage that lets the sensing engine apply the paper's §III-B
+analyzability gate in constant memory — exact per-originator querier
+sets are materialized only for originators that can plausibly pass it.
+
+Layout::
+
+    repro.sketch
+    ├── hashing    seeded splitmix64 (scalar + vectorized, bit-identical)
+    ├── cms        CountMinSketch — per-originator query counts
+    ├── hll        HyperLogLog / HllBank — unique-querier cardinality
+    ├── bloom      BloomFilter — 30 s (originator, querier, qtype) dedup
+    └── prestage   SketchParams / SketchPreStage — the composed gate
+
+All structures hash deterministically from a single seed and merge
+(``a | b`` or ``a.merge(b)``) when built with equal parameters, so
+per-shard instances can be federated before gating.
+"""
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.cms import CountMinSketch
+from repro.sketch.hashing import mix64, mix64_array
+from repro.sketch.hll import HllBank, HyperLogLog
+from repro.sketch.prestage import SketchParams, SketchPreStage
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "HllBank",
+    "HyperLogLog",
+    "SketchParams",
+    "SketchPreStage",
+    "mix64",
+    "mix64_array",
+]

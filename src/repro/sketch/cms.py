@@ -1,0 +1,152 @@
+"""Count-Min sketch: approximate per-key counts in fixed memory.
+
+The pre-stage uses one to track per-originator *query* volume (after
+window dedup) without a dict of counters: ``depth`` hash rows of
+``width`` int64 cells, point queries answered by the minimum over rows.
+Errors are one-sided — :meth:`estimate` never undercounts, and
+overcounts by more than ``2N/width`` (N = total inserted count) with
+probability at most ``2^-depth`` (Cormode & Muthukrishnan 2005).
+
+Rows hash with independent seeds derived from the instance seed, so two
+sketches built with the same ``(width, depth, seed)`` are *aligned*:
+cell-wise addition is exactly the sketch of the combined stream, which
+is what :meth:`merge` / ``|`` does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.hashing import derive_seed, mix64, mix64_array
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """A ``depth × width`` grid of counters with one-sided error.
+
+    Parameters
+    ----------
+    width:
+        Cells per hash row.  Expected overcount is ~``N/width`` per row;
+        the min over rows tightens that exponentially in ``depth``.
+    depth:
+        Number of independent hash rows.
+    seed:
+        Deployment seed; instances must share it to be mergeable.
+    """
+
+    __slots__ = ("width", "depth", "seed", "_rows", "_table")
+
+    def __init__(self, width: int = 4096, depth: int = 4, seed: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._rows = tuple(derive_seed(seed, 0x636D73_00 + row) for row in range(depth))
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+
+    # -- updates ---------------------------------------------------------
+
+    def add(self, key: int, count: int = 1) -> None:
+        """Add *count* occurrences of *key* (scalar path)."""
+        table = self._table
+        width = self.width
+        for row, row_seed in enumerate(self._rows):
+            table[row, mix64(key, row_seed) % width] += count
+
+    def add_batch(self, keys: np.ndarray, counts: np.ndarray | int = 1) -> None:
+        """Vectorized :meth:`add` over an integer array of keys.
+
+        *counts* is either one int applied to every key or an array
+        aligned with *keys*.  Duplicate keys within the batch accumulate
+        correctly (``np.add.at`` is unbuffered).
+        """
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return
+        table = self._table
+        width = self.width
+        for row, row_seed in enumerate(self._rows):
+            cells = (mix64_array(keys, row_seed) % np.uint64(width)).astype(np.intp)
+            np.add.at(table[row], cells, counts)
+
+    # -- queries ---------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Approximate count of *key*; never less than the true count."""
+        table = self._table
+        width = self.width
+        return int(
+            min(
+                table[row, mix64(key, row_seed) % width]
+                for row, row_seed in enumerate(self._rows)
+            )
+        )
+
+    def estimate_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate`; returns int64 aligned with *keys*."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        estimates = np.full(keys.shape, np.iinfo(np.int64).max, dtype=np.int64)
+        for row, row_seed in enumerate(self._rows):
+            cells = (mix64_array(keys, row_seed) % np.uint64(self.width)).astype(np.intp)
+            np.minimum(estimates, self._table[row, cells], out=estimates)
+        return estimates
+
+    @property
+    def total(self) -> int:
+        """Total inserted count (exact — every row sums to it)."""
+        return int(self._table[0].sum())
+
+    # -- algebra ---------------------------------------------------------
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if not isinstance(other, CountMinSketch):
+            raise TypeError(f"cannot combine CountMinSketch with {type(other).__name__}")
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError(
+                "incompatible sketches: "
+                f"(width={self.width}, depth={self.depth}, seed={self.seed}) vs "
+                f"(width={other.width}, depth={other.depth}, seed={other.seed})"
+            )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Fold *other* into self (in place); returns self."""
+        self._check_compatible(other)
+        self._table += other._table
+        return self
+
+    def __or__(self, other: "CountMinSketch") -> "CountMinSketch":
+        """A new sketch equivalent to sketching both streams."""
+        return self.copy().merge(other)
+
+    def copy(self) -> "CountMinSketch":
+        clone = CountMinSketch(self.width, self.depth, self.seed)
+        clone._table[:] = self._table
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountMinSketch):
+            return NotImplemented
+        return (
+            (self.width, self.depth, self.seed) == (other.width, other.depth, other.seed)
+            and bool(np.array_equal(self._table, other._table))
+        )
+
+    __hash__ = None  # mutable
+
+    @property
+    def memory_bytes(self) -> int:
+        """Register memory (the table; metadata excluded)."""
+        return int(self._table.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"seed={self.seed}, total={self.total})"
+        )

@@ -1,0 +1,72 @@
+"""Deterministic seeded 64-bit hashing shared by every sketch structure.
+
+All of :mod:`repro.sketch` hashes through one finalizer — a seeded
+splitmix64 — so that a sketch is a pure function of ``(params, seed,
+inputs)``: the same keys produce the same registers on every run, on
+every shard, which is what makes instances mergeable across processes
+and lets the property tests pin exact register states.
+
+Two call forms with bit-identical output:
+
+* :func:`mix64` — scalar Python-int path, used by the streaming
+  (per-event) pre-stage;
+* :func:`mix64_array` — vectorized ``uint64`` path, used by the batch
+  pre-stage and the bulk ``add_batch`` methods.
+
+Negative inputs are taken modulo 2^64 (two's complement), matching the
+``int64 → uint64`` reinterpretation NumPy performs, so the scalar and
+array paths agree on signed keys too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MASK64", "mix64", "mix64_array", "derive_seed"]
+
+MASK64 = (1 << 64) - 1
+
+#: splitmix64 constants (Steele, Lea & Flood; public domain reference).
+_PHI = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """Seeded splitmix64 finalizer of one 64-bit key (scalar path)."""
+    z = ((value & MASK64) ^ ((seed * _PHI) & MASK64)) & MASK64
+    z = (z + _PHI) & MASK64
+    z ^= z >> 30
+    z = (z * _MIX1) & MASK64
+    z ^= z >> 27
+    z = (z * _MIX2) & MASK64
+    z ^= z >> 31
+    return z
+
+
+def mix64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`mix64` — bit-identical to the scalar path.
+
+    Accepts any integer dtype; signed inputs are reinterpreted modulo
+    2^64.  Returns ``uint64``.
+    """
+    z = np.asarray(values).astype(np.uint64, copy=True)
+    z ^= np.uint64((seed * _PHI) & MASK64)
+    z += np.uint64(_PHI)
+    z ^= z >> np.uint64(30)
+    z *= np.uint64(_MIX1)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(_MIX2)
+    z ^= z >> np.uint64(31)
+    return z
+
+
+def derive_seed(seed: int, salt: int) -> int:
+    """An independent child seed for one structure of a sketch family.
+
+    The pre-stage derives distinct seeds for its Bloom filter, CMS rows,
+    and HLL registers from one deployment seed, so structures never
+    share hash planes (correlated collisions) yet the whole family stays
+    reproducible from a single integer.
+    """
+    return mix64(salt, seed)

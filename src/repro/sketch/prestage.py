@@ -1,0 +1,408 @@
+"""The window-scoped probabilistic pre-select stage.
+
+One :class:`SketchPreStage` summarizes one observation window in
+constant memory so the §III-B analyzability gate (≥ ``min_queriers``
+unique queriers) can run *before* any exact per-originator state
+exists:
+
+* a :class:`~repro.sketch.bloom.BloomFilter` dedups repeated
+  ``(originator, querier, qtype, 30 s bucket)`` events — the sensor
+  retains only PTR queries, so qtype folds in as a constant;
+* a :class:`~repro.sketch.cms.CountMinSketch` tracks deduped query
+  volume per originator;
+* an :class:`~repro.sketch.hll.HllBank` estimates unique queriers per
+  originator — the quantity the gate thresholds;
+* an exact *querier roster* (unique querier addresses, O(queriers) not
+  O(originators × queriers)) is kept on the side because downstream
+  dynamic features normalize by the window's whole querier universe.
+
+Two operating modes share the class:
+
+* **batch** (two-pass): the engine streams every in-window event
+  through :meth:`observe_batch`, reads :meth:`survivors`, then
+  materializes exact observations for survivors only.  Because the
+  second pass is the unchanged exact collector, survivor observations
+  and feature rows are bit-identical to the exact path; the only error
+  is one-sided — an analyzable originator is dropped only if its HLL
+  estimate lands below ``gate_queriers``, which the margin built into
+  the gate (see ``SensorConfig.sketch_margin``) makes vanishingly rare.
+* **streaming** (single-pass): :meth:`observe` is called per event and
+  an originator is *promoted* to exact state once its estimate reaches
+  ``promote_queriers``; events before promotion are summarized but not
+  materialized, so promoted footprints can trail exact ones by at most
+  the handful of pre-promotion queriers.
+
+Dedup note: the Bloom key uses fixed ``⌊t/30 s⌋`` buckets, not the
+exact path's sliding 30 s horizon.  Unique-querier counts (the gate
+input) are unaffected — duplicates never add to an HLL — only the
+CMS query-volume telemetry sees the coarser dedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.cms import CountMinSketch
+from repro.sketch.hashing import MASK64, derive_seed, mix64, mix64_array
+from repro.sketch.hll import HllBank
+
+__all__ = ["SketchParams", "SketchPreStage", "KEEP", "DEFER", "DUPLICATE"]
+
+#: :meth:`SketchPreStage.observe` verdicts.
+KEEP = "keep"          #: materialize this event exactly (originator promoted)
+DEFER = "defer"        #: summarized only; originator not yet promoted
+DUPLICATE = "duplicate"  #: suppressed by the 30 s dedup filter
+
+#: PTR RR type — the only qtype the sensor retains — folded into the
+#: dedup key as a constant so the key shape matches the paper's
+#: (originator, querier, qtype) triple.
+_QTYPE_PTR = 12
+
+#: Events per vectorized chunk in :meth:`observe_batch`; bounds the
+#: temporaries (dedup-key sort copies, HLL point arrays, Bloom probe
+#: matrices) to well under 1 MiB each so the pre-stage's peak memory
+#: stays flat in the log size.
+_CHUNK_EVENTS = 32_768
+
+
+@dataclass(frozen=True, slots=True)
+class SketchParams:
+    """Geometry and error budget of one pre-stage instance.
+
+    ``gate_queriers`` is the *approximate* analyzability threshold the
+    HLL estimate is compared against — the engine derives it from
+    ``min_queriers`` scaled down by its one-sided error margin.
+    ``promote_queriers`` only matters in streaming mode: the estimate at
+    which an originator starts materializing exact state.  It must not
+    exceed ``gate_queriers``, otherwise the gate could select
+    originators that never materialized.
+    """
+
+    width: int = 4096
+    depth: int = 4
+    hll_precision: int = 6
+    fp_rate: float = 0.01
+    capacity: int = 1 << 20
+    gate_queriers: int = 10
+    promote_queriers: int = 4
+    dedup_seconds: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if not 4 <= self.hll_precision <= 16:
+            raise ValueError(f"hll_precision must be in [4, 16], got {self.hll_precision}")
+        if not 0.0 < self.fp_rate < 1.0:
+            raise ValueError(f"fp_rate must be in (0, 1), got {self.fp_rate}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.gate_queriers < 1:
+            raise ValueError(f"gate_queriers must be >= 1, got {self.gate_queriers}")
+        if self.promote_queriers < 1:
+            raise ValueError(f"promote_queriers must be >= 1, got {self.promote_queriers}")
+        if self.promote_queriers > self.gate_queriers:
+            raise ValueError(
+                "inconsistent error budget: promote_queriers "
+                f"({self.promote_queriers}) exceeds gate_queriers ({self.gate_queriers}) — "
+                "the gate would select originators that never materialized"
+            )
+        if self.dedup_seconds < 0:
+            raise ValueError(f"dedup_seconds must be >= 0, got {self.dedup_seconds}")
+
+
+class _UniqueInts:
+    """Exact set of int64 values kept as merged-unique numpy chunks.
+
+    A plain ``set`` of Python ints costs ~60 bytes/element; this keeps
+    8 bytes/element (plus transient buffers) and hands back a sorted
+    array, which is what the window context wants anyway.
+    """
+
+    __slots__ = ("_chunks", "_buffer", "_merged")
+    _BUFFER_LIMIT = 65_536
+    _CHUNK_LIMIT = 64
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._buffer: list[int] = []
+        self._merged: np.ndarray | None = None
+
+    def add(self, value: int) -> None:
+        self._buffer.append(value)
+        self._merged = None
+        if len(self._buffer) >= self._BUFFER_LIMIT:
+            self._flush()
+
+    def add_array(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self._chunks.append(np.unique(np.asarray(values, dtype=np.int64)))
+        self._merged = None
+        if len(self._chunks) >= self._CHUNK_LIMIT:
+            self._compact()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._chunks.append(np.unique(np.array(self._buffer, dtype=np.int64)))
+            self._buffer.clear()
+
+    def _compact(self) -> None:
+        self._flush()
+        if self._chunks:
+            self._chunks = [np.unique(np.concatenate(self._chunks))]
+
+    def array(self) -> np.ndarray:
+        """Sorted unique values (cached until the next add)."""
+        if self._merged is None:
+            self._compact()
+            self._merged = self._chunks[0] if self._chunks else np.zeros(0, dtype=np.int64)
+        return self._merged
+
+    def update(self, other: "_UniqueInts") -> None:
+        self.add_array(other.array())
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * (sum(chunk.size for chunk in self._chunks) + len(self._buffer))
+
+
+def _event_key(originator: int, querier: int, bucket: int, seed: int) -> int:
+    """64-bit dedup key of one (originator, querier, qtype, bucket) event."""
+    k = mix64(originator, seed)
+    k = mix64(k ^ (querier & MASK64), seed ^ _QTYPE_PTR)
+    return mix64(k ^ (bucket & MASK64), seed)
+
+
+def _event_key_array(
+    originators: np.ndarray, queriers: np.ndarray, buckets: np.ndarray, seed: int
+) -> np.ndarray:
+    """Vectorized :func:`_event_key`; bit-identical to the scalar path."""
+    k = mix64_array(originators, seed)
+    k = mix64_array(k ^ queriers.astype(np.uint64), seed ^ _QTYPE_PTR)
+    return mix64_array(k ^ buckets.astype(np.uint64), seed)
+
+
+class SketchPreStage:
+    """Constant-memory summary of one window, driving the approximate gate."""
+
+    __slots__ = (
+        "params",
+        "bloom",
+        "counts",
+        "uniques",
+        "exact_observations",
+        "events_unique",
+        "events_duplicate",
+        "events_deferred",
+        "_key_seed",
+        "_promoted",
+        "_roster",
+        "_gate_cache",
+    )
+
+    def __init__(self, params: SketchParams) -> None:
+        self.params = params
+        self.bloom = BloomFilter(
+            params.capacity, params.fp_rate, seed=derive_seed(params.seed, 0x707265_01)
+        )
+        self.counts = CountMinSketch(
+            params.width, params.depth, seed=derive_seed(params.seed, 0x707265_02)
+        )
+        self.uniques = HllBank(
+            params.hll_precision, seed=derive_seed(params.seed, 0x707265_03)
+        )
+        self._key_seed = derive_seed(params.seed, 0x707265_04)
+        #: True when every surviving originator has *exact* observations
+        #: (batch two-pass mode); False in single-pass streaming mode.
+        self.exact_observations = False
+        self.events_unique = 0
+        self.events_duplicate = 0
+        self.events_deferred = 0
+        self._promoted: set[int] = set()
+        self._roster = _UniqueInts()
+        self._gate_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- ingest ----------------------------------------------------------
+
+    def _bucket(self, timestamp: float) -> int:
+        dedup = self.params.dedup_seconds
+        return int(timestamp // dedup) if dedup > 0 else 0
+
+    def observe(self, timestamp: float, querier: int, originator: int) -> str:
+        """Summarize one event; returns a verdict (:data:`KEEP`,
+        :data:`DEFER`, or :data:`DUPLICATE`) telling the streaming
+        collector what to do with the exact event."""
+        self._gate_cache = None
+        self._roster.add(querier)
+        if self.params.dedup_seconds > 0:
+            key = _event_key(originator, querier, self._bucket(timestamp), self._key_seed)
+            if not self.bloom.add(key):
+                self.events_duplicate += 1
+                return DUPLICATE
+        self.events_unique += 1
+        self.counts.add(originator)
+        changed = self.uniques.add(originator, querier)
+        if originator in self._promoted:
+            return KEEP
+        if changed and self.uniques.estimate(originator) >= self.params.promote_queriers:
+            self._promoted.add(originator)
+            return KEEP
+        self.events_deferred += 1
+        return DEFER
+
+    def observe_batch(
+        self,
+        timestamps: np.ndarray,
+        queriers: np.ndarray,
+        originators: np.ndarray,
+    ) -> None:
+        """Vectorized ingest of aligned event arrays (batch mode).
+
+        Processes in chunks: exact within-chunk dedup via ``np.unique``
+        on the event key, cross-chunk dedup via the Bloom filter — the
+        same final sketch state and counters as the scalar path.
+        """
+        self._gate_cache = None
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        queriers = np.asarray(queriers, dtype=np.int64)
+        originators = np.asarray(originators, dtype=np.int64)
+        dedup = self.params.dedup_seconds
+        for start in range(0, timestamps.size, _CHUNK_EVENTS):
+            stop = min(start + _CHUNK_EVENTS, timestamps.size)
+            q = queriers[start:stop]
+            o = originators[start:stop]
+            self._roster.add_array(q)
+            if dedup > 0:
+                buckets = np.floor_divide(timestamps[start:stop], dedup).astype(np.int64)
+                keys = _event_key_array(o, q, buckets, self._key_seed)
+                _, first = np.unique(keys, return_index=True)
+                # Chronological first occurrences, so bank insertion
+                # order (and thus survivor order) matches the scalar path.
+                first.sort()
+                novel = self.bloom.add_batch(keys[first])
+                kept = first[novel]
+                self.events_unique += int(kept.size)
+                self.events_duplicate += int((stop - start) - kept.size)
+            else:
+                kept = slice(None)
+                self.events_unique += int(stop - start)
+            self.counts.add_batch(o[kept])
+            self.uniques.add_batch(o[kept], q[kept])
+
+    # -- the gate --------------------------------------------------------
+
+    def _gate(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._gate_cache is None:
+            self._gate_cache = self.uniques.estimate_all()
+        return self._gate_cache
+
+    def survivors(self) -> np.ndarray:
+        """Originators whose estimated unique queriers pass the gate."""
+        keys, estimates = self._gate()
+        return keys[estimates >= self.params.gate_queriers]
+
+    @property
+    def originators_seen(self) -> int:
+        """Distinct originators summarized (exact — one bank slot each)."""
+        return len(self.uniques)
+
+    @property
+    def gate_kept(self) -> int:
+        return int(self.survivors().size)
+
+    @property
+    def gate_dropped(self) -> int:
+        return self.originators_seen - self.gate_kept
+
+    def estimate_queriers(self, originator: int) -> float:
+        """Estimated unique queriers of one originator."""
+        return self.uniques.estimate(originator)
+
+    def estimate_count(self, originator: int) -> int:
+        """Estimated (deduped) query count of one originator."""
+        return self.counts.estimate(originator)
+
+    def is_promoted(self, originator: int) -> bool:
+        return originator in self._promoted
+
+    def roster_array(self) -> np.ndarray:
+        """Sorted exact array of every querier address in the window."""
+        return self._roster.array()
+
+    # -- accounting ------------------------------------------------------
+
+    def memory_bytes(self) -> dict[str, int]:
+        """Bytes held per structure — the telemetry gauge payload."""
+        return {
+            "bloom": self.bloom.memory_bytes,
+            "cms": self.counts.memory_bytes,
+            "hll": self.uniques.memory_bytes,
+            "roster": self._roster.nbytes,
+        }
+
+    def error_against(self, exact_footprints: Mapping[int, int]) -> np.ndarray:
+        """Relative unique-querier estimate error per known originator.
+
+        *exact_footprints* maps originator → true unique-querier count
+        (available for survivors in batch mode); returns
+        ``|estimate − true| / true`` aligned with the mapping's order.
+        """
+        errors = np.zeros(len(exact_footprints), dtype=np.float64)
+        for i, (originator, true_count) in enumerate(exact_footprints.items()):
+            if true_count > 0:
+                estimate = self.uniques.estimate(originator)
+                errors[i] = abs(estimate - true_count) / true_count
+        return errors
+
+    def false_drops(self, exact_footprints: Mapping[int, int], min_queriers: int) -> int:
+        """How many truly-analyzable originators the gate dropped.
+
+        Needs ground truth (*exact_footprints* over **all** originators),
+        so only verification harnesses and the benchmark can call it —
+        in sketch mode proper the dropped tail's exact footprints are
+        never known.
+        """
+        kept = set(int(origin) for origin in self.survivors())
+        return sum(
+            1
+            for originator, footprint in exact_footprints.items()
+            if footprint >= min_queriers and originator not in kept
+        )
+
+    # -- algebra ---------------------------------------------------------
+
+    def merge(self, other: "SketchPreStage") -> "SketchPreStage":
+        """Fold another shard's pre-stage in (same params/seed required)."""
+        if not isinstance(other, SketchPreStage):
+            raise TypeError(f"cannot combine SketchPreStage with {type(other).__name__}")
+        if self.params != other.params:
+            raise ValueError(f"incompatible pre-stages: {self.params} vs {other.params}")
+        self.bloom.merge(other.bloom)
+        self.counts.merge(other.counts)
+        self.uniques.merge(other.uniques)
+        self._roster.update(other._roster)
+        self._promoted |= other._promoted
+        self.events_unique += other.events_unique
+        self.events_duplicate += other.events_duplicate
+        self.events_deferred += other.events_deferred
+        self._gate_cache = None
+        return self
+
+    def __or__(self, other: "SketchPreStage") -> "SketchPreStage":
+        clone = SketchPreStage(self.params)
+        clone.exact_observations = self.exact_observations
+        return clone.merge(self).merge(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchPreStage(originators={self.originators_seen}, "
+            f"unique={self.events_unique}, duplicate={self.events_duplicate}, "
+            f"deferred={self.events_deferred})"
+        )

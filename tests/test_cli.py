@@ -229,3 +229,76 @@ class TestMetricsSnapshots:
                     os.environ.pop(key, None)
                 else:
                     os.environ[key] = value
+
+
+class TestSketchFlags:
+    def _classify_argv(self, generated, *extra):
+        return [
+            "classify",
+            "-l", str(generated / "B-post-ditl.log"),
+            "-d", str(generated / "B-post-ditl.queriers.jsonl"),
+            "-t", str(generated / "B-post-ditl.labels.json"),
+            "--min-queriers", "5",
+            "--top", "2",
+            *extra,
+        ]
+
+    def test_defaults_off(self):
+        args = build_parser().parse_args(
+            ["classify", "-l", "x", "-d", "y", "-t", "z"]
+        )
+        assert args.sketch is False
+        assert args.sketch_width == 4096
+        assert args.hll_precision == 6
+
+    def test_batch_output_matches_exact(self, generated, capsys):
+        code = main(self._classify_argv(generated))
+        assert code == 0
+        exact_out = capsys.readouterr().out
+        code = main(self._classify_argv(generated, "--sketch"))
+        assert code == 0
+        sketch_out = capsys.readouterr().out
+        # Batch sketch mode is two-pass with exact survivor features, so
+        # the printed classifications are identical.
+        assert sketch_out == exact_out
+
+    def test_stream_accepts_sketch(self, generated, capsys):
+        code = main(self._classify_argv(
+            generated, "--sketch", "--stream",
+            "--sketch-width", "1024", "--hll-precision", "7",
+        ))
+        assert code == 0
+        assert "originators" in capsys.readouterr().out
+
+
+class TestSketchEnvOverrides:
+    def test_env_knobs_build_overrides(self):
+        from repro.experiments.common import sketch_overrides
+
+        saved = {
+            key: os.environ.pop(key, None)
+            for key in (
+                "REPRO_SKETCH",
+                "REPRO_SKETCH_WIDTH",
+                "REPRO_SKETCH_DEPTH",
+                "REPRO_SKETCH_HLL_PRECISION",
+            )
+        }
+        try:
+            assert sketch_overrides() == {}
+            os.environ["REPRO_SKETCH"] = "1"
+            os.environ["REPRO_SKETCH_WIDTH"] = "2048"
+            assert sketch_overrides() == {
+                "sketch_enabled": True,
+                "sketch_width": 2048,
+                "sketch_depth": 4,
+                "hll_precision": 6,
+            }
+            os.environ["REPRO_SKETCH"] = "off"
+            assert sketch_overrides() == {}
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value

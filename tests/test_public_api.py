@@ -19,6 +19,7 @@ import pytest
 
 import repro
 import repro.sensor
+import repro.sketch
 import repro.telemetry
 
 DOCS = Path(__file__).resolve().parent.parent / "docs" / "API.md"
@@ -26,6 +27,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 CURATED = {
     "repro": repro,
     "repro.sensor": repro.sensor,
+    "repro.sketch": repro.sketch,
     "repro.telemetry": repro.telemetry,
 }
 

@@ -1,0 +1,301 @@
+"""Property-based tests (hypothesis) of the repro.sketch structures.
+
+The structures' contracts are probabilistic but one-sided, so every
+test pins a *hard* invariant — never a distributional hope:
+
+* Bloom filters have no false negatives, and their false-positive rate
+  stays within a slack factor of the configured budget;
+* count-min never undercounts;
+* HLL estimates stay within the theoretical relative error
+  (``1.04/sqrt(m)``, generously slackened for small cardinalities);
+* merge is associative/commutative and equals sketching the union;
+* batch ingest is bit-identical to the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    BloomFilter,
+    CountMinSketch,
+    HllBank,
+    HyperLogLog,
+    mix64,
+    mix64_array,
+)
+
+keys = st.lists(
+    st.integers(min_value=0, max_value=2**40), min_size=0, max_size=300
+)
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+def key_array(values: list[int]) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestHashing:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1), seeds)
+    def test_scalar_matches_vector(self, value, seed):
+        scalar = mix64(value, seed)
+        vector = mix64_array(np.array([value], dtype=np.int64), seed)
+        assert int(vector[0]) == scalar
+
+    @given(seeds)
+    def test_distinct_inputs_rarely_collide(self, seed):
+        values = np.arange(512, dtype=np.int64)
+        hashed = mix64_array(values, seed)
+        assert len(np.unique(hashed)) == values.size
+
+
+class TestBloomProperties:
+    @given(keys, seeds)
+    def test_no_false_negatives(self, values, seed):
+        bloom = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        for value in values:
+            bloom.add(value)
+        assert all(value in bloom for value in values)
+        if values:
+            assert bool(bloom.contains_batch(key_array(values)).all())
+
+    @given(keys, seeds)
+    def test_batch_matches_scalar(self, values, seed):
+        scalar = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        batch = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        novel_scalar: dict[int, bool] = {}
+        for value in values:
+            novel = scalar.add(value)
+            novel_scalar.setdefault(value, novel)
+        # The batch novel-mask contract covers distinct keys; feed first
+        # occurrences (the documented caller obligation).
+        firsts = list(dict.fromkeys(values))
+        novel_batch = batch.add_batch(key_array(firsts))
+        assert scalar == batch
+        assert list(novel_batch) == [novel_scalar[value] for value in firsts]
+
+    @given(seeds)
+    @settings(max_examples=20)
+    def test_false_positive_rate_within_budget(self, seed):
+        fp_rate = 0.02
+        bloom = BloomFilter(capacity=2048, fp_rate=fp_rate, seed=seed)
+        inserted = np.arange(2048, dtype=np.int64)
+        bloom.add_batch(inserted)
+        probes = np.arange(1_000_000, 1_050_000, dtype=np.int64)
+        hits = int(bloom.contains_batch(probes).sum())
+        # 3x slack over the design budget on 50k disjoint probes.
+        assert hits / probes.size <= 3.0 * fp_rate
+
+    @given(keys, keys, seeds)
+    def test_merge_equals_union(self, a_values, b_values, seed):
+        a = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        b = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        both = BloomFilter(capacity=4096, fp_rate=0.01, seed=seed)
+        a.add_batch(key_array(sorted(set(a_values))))
+        b.add_batch(key_array(sorted(set(b_values))))
+        both.add_batch(key_array(sorted(set(a_values) | set(b_values))))
+        assert (a | b) == both
+        assert (a | b) == (b | a)
+
+    def test_incompatible_merge_raises(self):
+        with pytest.raises(ValueError):
+            BloomFilter(seed=1).merge(BloomFilter(seed=2))
+        with pytest.raises(TypeError):
+            BloomFilter().merge(object())  # type: ignore[arg-type]
+
+
+class TestCountMinProperties:
+    @given(keys, seeds)
+    def test_never_undercounts(self, values, seed):
+        cms = CountMinSketch(width=64, depth=3, seed=seed)
+        for value in values:
+            cms.add(value)
+        truth: dict[int, int] = {}
+        for value in values:
+            truth[value] = truth.get(value, 0) + 1
+        for value, count in truth.items():
+            assert cms.estimate(value) >= count
+        if truth:
+            probe = key_array(sorted(truth))
+            assert bool(
+                (cms.estimate_batch(probe) >= [truth[int(v)] for v in probe]).all()
+            )
+
+    @given(keys, seeds)
+    def test_batch_matches_scalar(self, values, seed):
+        scalar = CountMinSketch(width=128, depth=4, seed=seed)
+        batch = CountMinSketch(width=128, depth=4, seed=seed)
+        for value in values:
+            scalar.add(value)
+        batch.add_batch(key_array(values))
+        assert scalar == batch
+
+    @given(keys, keys, seeds)
+    def test_merge_equals_union_and_commutes(self, a_values, b_values, seed):
+        def sketch_of(stream):
+            cms = CountMinSketch(width=128, depth=4, seed=seed)
+            cms.add_batch(key_array(stream))
+            return cms
+
+        a, b = sketch_of(a_values), sketch_of(b_values)
+        assert (a | b) == sketch_of(a_values + b_values)
+        assert (a | b) == (b | a)
+
+    @given(keys, keys, keys, seeds)
+    @settings(max_examples=25)
+    def test_merge_associative(self, a_values, b_values, c_values, seed):
+        def sketch_of(stream):
+            cms = CountMinSketch(width=64, depth=3, seed=seed)
+            cms.add_batch(key_array(stream))
+            return cms
+
+        a, b, c = sketch_of(a_values), sketch_of(b_values), sketch_of(c_values)
+        assert ((a | b) | c) == (a | (b | c))
+
+    @given(keys, seeds)
+    def test_total_is_exact(self, values, seed):
+        cms = CountMinSketch(width=32, depth=2, seed=seed)
+        cms.add_batch(key_array(values))
+        assert cms.total == len(values)
+
+
+class TestHyperLogLogProperties:
+    @given(st.integers(min_value=0, max_value=5000), seeds)
+    @settings(max_examples=30)
+    def test_estimate_within_theoretical_bound(self, cardinality, seed):
+        precision = 10  # m=1024 → RSE ~3.25%
+        hll = HyperLogLog(precision=precision, seed=seed)
+        hll.add_batch(np.arange(cardinality, dtype=np.int64))
+        error = abs(hll.cardinality() - cardinality)
+        # 5 standard errors of slack, plus an absolute floor for the
+        # tiny-cardinality regime where relative error is meaningless.
+        rse = 1.04 / math.sqrt(1 << precision)
+        assert error <= max(5.0, 5.0 * rse * cardinality)
+
+    @given(keys, seeds)
+    def test_batch_matches_scalar(self, values, seed):
+        scalar = HyperLogLog(precision=8, seed=seed)
+        batch = HyperLogLog(precision=8, seed=seed)
+        for value in values:
+            scalar.add(value)
+        batch.add_batch(key_array(values))
+        assert scalar == batch
+
+    @given(keys, seeds)
+    def test_duplicates_never_change_estimate(self, values, seed):
+        hll = HyperLogLog(precision=6, seed=seed)
+        hll.add_batch(key_array(values))
+        once = hll.cardinality()
+        hll.add_batch(key_array(values))
+        assert hll.cardinality() == once
+
+    @given(keys, keys, seeds)
+    def test_merge_equals_union_and_commutes(self, a_values, b_values, seed):
+        def hll_of(stream):
+            hll = HyperLogLog(precision=7, seed=seed)
+            hll.add_batch(key_array(stream))
+            return hll
+
+        a, b = hll_of(a_values), hll_of(b_values)
+        assert (a | b) == hll_of(a_values + b_values)
+        assert (a | b) == (b | a)
+
+    @given(keys, keys, keys, seeds)
+    @settings(max_examples=25)
+    def test_merge_associative(self, a_values, b_values, c_values, seed):
+        def hll_of(stream):
+            hll = HyperLogLog(precision=6, seed=seed)
+            hll.add_batch(key_array(stream))
+            return hll
+
+        a, b, c = hll_of(a_values), hll_of(b_values), hll_of(c_values)
+        assert ((a | b) | c) == (a | (b | c))
+
+    def test_incompatible_merge_raises(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=6).merge(HyperLogLog(precision=8))
+
+
+class TestHllBankProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=2**32),
+            ),
+            max_size=300,
+        ),
+        seeds,
+    )
+    def test_bank_row_equals_standalone_hll(self, pairs, seed):
+        bank = HllBank(precision=6, seed=seed)
+        singles: dict[int, HyperLogLog] = {}
+        for key, item in pairs:
+            bank.add(key, item)
+            singles.setdefault(key, HyperLogLog(precision=6, seed=seed)).add(item)
+        for key, single in singles.items():
+            assert bank.extract(key) == single
+            assert bank.estimate(key) == single.cardinality()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=2**32),
+            ),
+            max_size=300,
+        ),
+        seeds,
+    )
+    def test_batch_matches_scalar_including_key_order(self, pairs, seed):
+        scalar = HllBank(precision=6, seed=seed)
+        batch = HllBank(precision=6, seed=seed)
+        for key, item in pairs:
+            scalar.add(key, item)
+        if pairs:
+            batch.add_batch(
+                np.array([k for k, _ in pairs], dtype=np.int64),
+                np.array([i for _, i in pairs], dtype=np.int64),
+            )
+        scalar_keys, scalar_estimates = scalar.estimate_all()
+        batch_keys, batch_estimates = batch.estimate_all()
+        # Insertion (first-occurrence) order must match too — survivor
+        # order in the pre-stage depends on it.
+        assert np.array_equal(scalar_keys, batch_keys)
+        assert np.array_equal(scalar_estimates, batch_estimates)
+
+    @given(keys, keys, seeds)
+    def test_merge_equals_union(self, a_items, b_items, seed):
+        def bank_of(*streams):
+            bank = HllBank(precision=6, seed=seed)
+            for key, stream in enumerate(streams):
+                for item in stream:
+                    bank.add(key, item)
+            return bank
+
+        a = bank_of(a_items)
+        b = HllBank(precision=6, seed=seed)
+        for item in b_items:
+            b.add(1, item)
+        merged = a.merge(b)
+        both = HllBank(precision=6, seed=seed)
+        for item in a_items:
+            both.add(0, item)
+        for item in b_items:
+            both.add(1, item)
+        assert merged.estimate(0) == both.estimate(0)
+        assert merged.estimate(1) == both.estimate(1)
+
+    def test_bank_grows_past_initial_capacity(self):
+        bank = HllBank(precision=4, seed=0)
+        for key in range(1000):
+            bank.add(key, key * 17)
+        assert len(bank) == 1000
+        keys_out, estimates = bank.estimate_all()
+        assert keys_out.size == 1000
+        assert bool((estimates > 0).all())
