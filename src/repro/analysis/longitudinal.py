@@ -84,7 +84,7 @@ def slice_windows(
         ),
     )
     sensed = engine.process(
-        dataset.sensor.log,
+        dataset.sensor.log.block(),
         0.0,
         dataset.spec.duration_days * SECONDS_PER_DAY,
         classify=False,

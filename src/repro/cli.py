@@ -3,13 +3,20 @@
 Subcommands:
 
 * ``repro generate <dataset> -o DIR`` — generate a Table I dataset and
-  write its query log (text + framed binary), querier directory, and
-  ground-truth labels to files;
+  write its query log (text + framed binary + columnar ``.npz`` block),
+  querier directory, and ground-truth labels to files;
 * ``repro classify -l LOG -d DIR -t LABELS`` — run the sensor pipeline
   on a serialized log: collect, featurize, train on the labels, print
   classifications;
+* ``repro convert <LOG> -o OUT`` — re-serialize a query log between the
+  text/framed formats and the columnar block layouts;
 * ``repro figures -o DIR`` — render the implemented paper figures as SVG;
 * ``repro experiments ...`` — forwarded to :mod:`repro.experiments`.
+
+``classify`` and ``convert`` accept any log format by suffix — ``.npz``
+/ ``.npy`` columnar blocks (:mod:`repro.logstore`), ``.rbsc`` framed
+binary, anything else as the text format — and replay it through the
+array-native ingest plane as one :class:`~repro.logstore.EntryBlock`.
 
 The work-shaping flags are uniform across subcommands: ``--workers``
 fans the featurize stage out over processes wherever featurization
@@ -125,6 +132,19 @@ def _registry_for(args: argparse.Namespace) -> MetricsRegistry | None:
     return MetricsRegistry() if args.metrics_out else None
 
 
+def _load_log(path: str | Path):
+    """Load any supported log format as a columnar EntryBlock (by suffix)."""
+    from repro.datasets import read_frames_block, read_log_block
+    from repro.logstore import load_block
+
+    suffix = Path(path).suffix.lower()
+    if suffix in (".npz", ".npy"):
+        return load_block(path)
+    if suffix == ".rbsc":
+        return read_frames_block(path)
+    return read_log_block(path)
+
+
 def _write_snapshot(args: argparse.Namespace, registry: MetricsRegistry | None) -> None:
     if registry is None or not args.metrics_out:
         return
@@ -136,6 +156,7 @@ def _write_snapshot(args: argparse.Namespace, registry: MetricsRegistry | None) 
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.datasets import spec_for, generate_dataset, write_directory, write_log
     from repro.datasets.dnstap import write_frames
+    from repro.logstore import save_block
 
     spec = spec_for(args.dataset, args.preset)
     print(f"generating {spec.name} (preset={args.preset}) …", flush=True)
@@ -144,11 +165,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     output.mkdir(parents=True, exist_ok=True)
     log_path = output / f"{spec.name}.log"
     frames_path = output / f"{spec.name}.rbsc"
+    block_path = output / f"{spec.name}.npz"
     directory_path = output / f"{spec.name}.queriers.jsonl"
     labels_path = output / f"{spec.name}.labels.json"
     entries = list(dataset.sensor.log)
     write_log(log_path, entries)
     write_frames(frames_path, entries)
+    save_block(block_path, dataset.sensor.log.block())
     world_directory = dataset.directory()
     write_directory(
         directory_path,
@@ -160,17 +183,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             indent=0,
         )
     )
-    print(f"wrote {len(entries):,} entries to {log_path} (+ {frames_path.name})")
+    print(
+        f"wrote {len(entries):,} entries to {log_path} "
+        f"(+ {frames_path.name}, {block_path.name})"
+    )
     print(f"wrote querier directory to {directory_path}")
     print(f"wrote ground-truth labels to {labels_path}")
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    from repro.datasets import read_directory, read_log
+    from repro.datasets import read_directory
     from repro.sensor import LabeledSet, SensorConfig, SensorEngine
 
-    entries = read_log(args.log)
+    entries = _load_log(args.log)
     if not entries:
         print("log is empty", file=sys.stderr)
         return 1
@@ -278,12 +304,33 @@ def _classify_stream(
 
     chunk = max(1, args.chunk)
     for offset in range(0, len(entries), chunk):
-        engine.ingest_many(entries[offset : offset + chunk])
+        engine.ingest_block(entries[offset : offset + chunk])
         sense_and_report(engine.poll())
     sense_and_report(engine.finish())
     print()
     print(engine.format_accounting())
     _write_snapshot(args, registry)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Re-serialize a query log into the format implied by the output suffix."""
+    from repro.datasets import write_log
+    from repro.datasets.dnstap import write_frames
+    from repro.logstore import save_block
+
+    block = _load_log(args.log)
+    out = Path(args.output)
+    if out.parent and not out.parent.exists():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    suffix = out.suffix.lower()
+    if suffix in (".npz", ".npy"):
+        save_block(out, block)
+    elif suffix == ".rbsc":
+        write_frames(out, block)
+    else:
+        write_log(out, block)
+    print(f"wrote {len(block):,} entries to {out}")
     return 0
 
 
@@ -369,6 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_option(classify)
     add_metrics_options(classify, streaming=True)
     classify.set_defaults(func=_cmd_classify)
+
+    convert = commands.add_parser(
+        "convert", help="re-serialize a query log (format by output suffix)"
+    )
+    convert.add_argument("log", help="input log (.log / .rbsc / .npz / .npy)")
+    convert.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output path; .npz/.npy write columnar blocks, .rbsc framed "
+        "binary, anything else the text format",
+    )
+    convert.set_defaults(func=_cmd_convert)
 
     figures = commands.add_parser("figures", help="render paper figures as SVG")
     figures.add_argument("-o", "--output", default="figures")

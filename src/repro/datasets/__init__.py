@@ -8,13 +8,26 @@ Layout::
     ├── io         text logs + JSONL querier directories
     └── dnstap     framed binary logs (.rbsc)
 
+Logs read back either as entry lists (``read_log`` / ``read_frames``)
+or straight into columnar :class:`~repro.logstore.EntryBlock` form
+(``read_log_block`` / ``read_frames_block``) for the array ingest
+plane; ``.npz`` / ``.npy`` block files are handled by
+:mod:`repro.logstore` itself.
+
 ``get_dataset("JP-ditl", preset="tiny")`` is the entry point most code
 wants: a memoized, fully simulated collection with its sensor log,
 ground truth, and world attached.
 """
 
+from repro.datasets.dnstap import read_frames_block
 from repro.datasets.generate import GeneratedDataset, generate_dataset, get_dataset
-from repro.datasets.io import read_directory, read_log, write_directory, write_log
+from repro.datasets.io import (
+    read_directory,
+    read_log,
+    read_log_block,
+    write_directory,
+    write_log,
+)
 from repro.datasets.specs import DATASET_SPECS, DatasetSpec, VantageSpec, spec_for
 
 __all__ = [
@@ -25,7 +38,9 @@ __all__ = [
     "generate_dataset",
     "get_dataset",
     "read_directory",
+    "read_frames_block",
     "read_log",
+    "read_log_block",
     "spec_for",
     "write_directory",
     "write_log",

@@ -30,7 +30,7 @@ from repro.netmodel.addressing import ip_to_reverse_name, ip_to_str, reverse_nam
 from repro.netmodel.world import NameStatus
 from repro.sensor.directory import QuerierInfo, StaticDirectory
 
-__all__ = ["write_log", "read_log", "write_directory", "read_directory"]
+__all__ = ["write_log", "read_log", "read_log_block", "write_directory", "read_directory"]
 
 
 def write_log(path: str | Path, entries: Iterable[QueryLogEntry]) -> int:
@@ -76,6 +76,38 @@ def read_log(path: str | Path) -> list[QueryLogEntry]:
             except ValueError as error:
                 raise ValueError(f"{path}:{lineno}: {error}") from error
     return entries
+
+
+def read_log_block(path: str | Path):
+    """Parse a text log straight into a columnar block.
+
+    Same validation as :func:`read_log`, but the parsed fields land in a
+    :class:`~repro.logstore.EntryBlock` without materializing a list of
+    entry objects — the native input of the array ingest plane.
+    """
+    import numpy as np
+
+    from repro.logstore import ENTRY_DTYPE, EntryBlock
+
+    rows: list[tuple[float, int, int]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'timestamp querier qname', got {line!r}"
+                )
+            timestamp, querier, qname = fields
+            try:
+                rows.append(
+                    (float(timestamp), str_to_ip(querier), reverse_name_to_ip(qname))
+                )
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from error
+    return EntryBlock(np.array(rows, dtype=ENTRY_DTYPE))
 
 
 def write_directory(path: str | Path, infos: Iterable[QuerierInfo]) -> int:

@@ -54,6 +54,13 @@ class QueryLog:
         """Entries with ``start <= timestamp < end`` (log is time-ordered)."""
         return [e for e in self.entries if start <= e.timestamp < end]
 
+    def block(self):
+        """The log as a columnar :class:`~repro.logstore.EntryBlock` —
+        the native replay form for the array ingest plane."""
+        from repro.logstore import EntryBlock
+
+        return EntryBlock.from_entries(self.entries)
+
     def clear(self) -> None:
         self.entries.clear()
 

@@ -147,8 +147,10 @@ def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:
         return _FEATURE_CACHE[key]
     dataset = get_dataset(name, preset)
     engine = SensorEngine(dataset.directory(), sensor_config(name, preset))
+    # Replay the sensor log in columnar form: the block path is array
+    # math end to end and bit-identical to per-object ingestion.
     sensed = engine.process(
-        dataset.sensor.log, 0.0, engine.config.window_seconds, classify=False
+        dataset.sensor.log.block(), 0.0, engine.config.window_seconds, classify=False
     )
     features = sensed[0].features
     truth = dataset.true_classes()

@@ -1,0 +1,35 @@
+"""Columnar query-log store: the sensor's array-native ingest substrate.
+
+Query logs move through the ingest plane as :class:`EntryBlock`\\ s —
+numpy structured arrays of ``(timestamp: f8, querier: i8,
+originator: i8)`` — instead of per-event ``QueryLogEntry`` objects.
+Windowing and the § III-A 30 s dedup run as array math
+(:func:`dedup_mask`), blocks persist to ``.npz`` archives or an
+mmap-able ``.npy`` layout for larger-than-RAM replay
+(:func:`save_block` / :func:`load_block` / :func:`iter_blocks`), and
+chunked construction (:func:`blocks_from_entries`) bounds memory when
+materializing object streams.
+
+See docs/API.md for the supported surface and DESIGN.md for how the
+columnar plane maps onto the paper's sensing pipeline.
+"""
+
+from repro.logstore.block import (
+    ENTRY_DTYPE,
+    EntryBlock,
+    blocks_from_entries,
+    concat_blocks,
+)
+from repro.logstore.diskio import iter_blocks, load_block, save_block
+from repro.logstore.ops import dedup_mask
+
+__all__ = [
+    "ENTRY_DTYPE",
+    "EntryBlock",
+    "blocks_from_entries",
+    "concat_blocks",
+    "dedup_mask",
+    "save_block",
+    "load_block",
+    "iter_blocks",
+]

@@ -1,0 +1,287 @@
+"""Columnar query-log blocks: numpy structured arrays of (t, querier, originator).
+
+The sensor's unit of exchange upstream of featurization.  A block holds
+the same information as a ``list[QueryLogEntry]`` but as three flat
+columns, so windowing, dedup, and the sketch pre-stage can run as array
+math instead of per-object attribute access — and so shards can exchange
+flat buffers instead of object graphs.
+
+Blocks are cheap views wherever numpy allows it: slicing returns a view,
+:meth:`EntryBlock.load` with ``mmap=True`` maps the on-disk ``.npy``
+layout without reading it, and column accessors return the underlying
+field views.  Sorted-run metadata (``is_sorted``) is computed lazily and
+carried through operations that provably preserve it, so the common
+append-ordered authority log never pays a re-check per stage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dnssim.message import QueryLogEntry
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+__all__ = ["ENTRY_DTYPE", "EntryBlock", "blocks_from_entries", "concat_blocks"]
+
+ENTRY_DTYPE = np.dtype(
+    [("timestamp", "f8"), ("querier", "i8"), ("originator", "i8")]
+)
+"""Structured dtype of one query-log record (24 bytes)."""
+
+#: Default chunk size (events) for chunked construction and replay.
+DEFAULT_CHUNK_EVENTS = 65_536
+
+
+class EntryBlock:
+    """A contiguous run of query-log records stored column-wise.
+
+    Wraps a 1-D numpy structured array of :data:`ENTRY_DTYPE`.  The
+    block does not own ordering guarantees — ``is_sorted`` reports (and
+    caches) whether timestamps are non-decreasing, and consumers that
+    need time order (the collectors) validate it upfront.
+    """
+
+    __slots__ = ("_data", "_sorted")
+
+    def __init__(self, data: np.ndarray, *, assume_sorted: bool | None = None) -> None:
+        if data.dtype != ENTRY_DTYPE:
+            raise ValueError(
+                f"EntryBlock requires dtype {ENTRY_DTYPE}, got {data.dtype}"
+            )
+        if data.ndim != 1:
+            raise ValueError("EntryBlock requires a 1-D record array")
+        self._data = data
+        self._sorted = assume_sorted
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "EntryBlock":
+        return cls(np.empty(0, dtype=ENTRY_DTYPE), assume_sorted=True)
+
+    @classmethod
+    def from_entries(
+        cls,
+        entries: Iterable[QueryLogEntry],
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    ) -> "EntryBlock":
+        """Materialize an iterable of entries, chunk by chunk.
+
+        Consumes the iterable in ``chunk_events``-sized pieces so a
+        generator over a larger-than-RAM source never forces an
+        intermediate list of objects alongside the array.
+        """
+        chunks = [chunk.data for chunk in blocks_from_entries(entries, chunk_events)]
+        if not chunks:
+            return cls.empty()
+        if len(chunks) == 1:
+            return cls(chunks[0])
+        return cls(np.concatenate(chunks))
+
+    @classmethod
+    def from_arrays(
+        cls,
+        timestamps: np.ndarray,
+        queriers: np.ndarray,
+        originators: np.ndarray,
+    ) -> "EntryBlock":
+        """Build a block from three parallel column arrays (copied)."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        queriers = np.asarray(queriers, dtype=np.int64)
+        originators = np.asarray(originators, dtype=np.int64)
+        if not timestamps.shape == queriers.shape == originators.shape:
+            raise ValueError("column arrays must have identical shapes")
+        if timestamps.ndim != 1:
+            raise ValueError("column arrays must be 1-D")
+        data = np.empty(timestamps.size, dtype=ENTRY_DTYPE)
+        data["timestamp"] = timestamps
+        data["querier"] = queriers
+        data["originator"] = originators
+        return cls(data)
+
+    # -- columns --------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying structured array (a view, not a copy)."""
+        return self._data
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._data["timestamp"]
+
+    @property
+    def queriers(self) -> np.ndarray:
+        return self._data["querier"]
+
+    @property
+    def originators(self) -> np.ndarray:
+        return self._data["originator"]
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    @property
+    def is_sorted(self) -> bool:
+        """True when timestamps are non-decreasing (cached after first check)."""
+        if self._sorted is None:
+            ts = self._data["timestamp"]
+            self._sorted = bool(ts.size < 2 or np.all(ts[1:] >= ts[:-1]))
+        return self._sorted
+
+    # -- sequence protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return self._data.size
+
+    def __bool__(self) -> bool:
+        return self._data.size > 0
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            row = self._data[int(key)]
+            return QueryLogEntry(
+                timestamp=float(row["timestamp"]),
+                querier=int(row["querier"]),
+                originator=int(row["originator"]),
+            )
+        if isinstance(key, slice):
+            forward = key.step is None or key.step > 0
+            keep = self._sorted if (self._sorted and forward) else None
+            return EntryBlock(self._data[key], assume_sorted=keep)
+        key = np.asarray(key)
+        if key.dtype == np.bool_:
+            # A boolean mask preserves relative order, hence sortedness.
+            keep = self._sorted if self._sorted else None
+            return EntryBlock(self._data[key], assume_sorted=keep)
+        return EntryBlock(self._data[key])
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        for t, q, o in zip(
+            self._data["timestamp"].tolist(),
+            self._data["querier"].tolist(),
+            self._data["originator"].tolist(),
+        ):
+            yield QueryLogEntry(timestamp=t, querier=q, originator=o)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntryBlock):
+            return NotImplemented
+        return self._data.shape == other._data.shape and bool(
+            np.array_equal(self._data, other._data)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"EntryBlock(n={len(self)}, sorted={self._sorted})"
+
+    # -- ops ------------------------------------------------------------
+
+    def to_entries(self) -> list[QueryLogEntry]:
+        return list(self)
+
+    def sort(self) -> "EntryBlock":
+        """Stable sort by timestamp; ties keep arrival (array) order."""
+        if self.is_sorted:
+            return self
+        order = np.argsort(self._data["timestamp"], kind="stable")
+        return EntryBlock(self._data[order], assume_sorted=True)
+
+    def slice_time(self, start: float, end: float) -> "EntryBlock":
+        """Records with ``start <= t < end``.
+
+        O(log n) searchsorted slicing on sorted blocks, boolean mask
+        otherwise.
+        """
+        ts = self._data["timestamp"]
+        if self.is_sorted:
+            lo = int(np.searchsorted(ts, start, side="left"))
+            hi = int(np.searchsorted(ts, end, side="left"))
+            return EntryBlock(self._data[lo:hi], assume_sorted=True)
+        mask = (ts >= start) & (ts < end)
+        return EntryBlock(self._data[mask])
+
+    def iter_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator["EntryBlock"]:
+        """Yield consecutive sub-blocks of at most *chunk_events* records."""
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        for lo in range(0, self._data.size, chunk_events):
+            yield self[lo : lo + chunk_events]
+
+    # -- persistence (delegates to repro.logstore.diskio) ---------------
+
+    def save(self, path: "str | Path") -> None:
+        from repro.logstore.diskio import save_block
+
+        save_block(path, self)
+
+    @classmethod
+    def load(cls, path: "str | Path", mmap: bool = False) -> "EntryBlock":
+        from repro.logstore.diskio import load_block
+
+        return load_block(path, mmap=mmap)
+
+
+def blocks_from_entries(
+    entries: Iterable[QueryLogEntry],
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> Iterator[EntryBlock]:
+    """Stream an entry iterable as a sequence of bounded-size blocks.
+
+    The chunked construction primitive: at most *chunk_events* objects
+    are converted per step, so feeding a streaming collector from a
+    generator keeps memory bounded by the chunk, not the log.
+    """
+    if chunk_events <= 0:
+        raise ValueError("chunk_events must be positive")
+    it = iter(entries)
+    while True:
+        data = _take_chunk(it, chunk_events)
+        if data is None:
+            return
+        yield EntryBlock(data)
+
+
+def _take_chunk(it: Iterator[QueryLogEntry], chunk_events: int) -> np.ndarray | None:
+    buf = np.empty(chunk_events, dtype=ENTRY_DTYPE)
+    fill = 0
+    for entry in it:
+        buf[fill] = (entry.timestamp, entry.querier, entry.originator)
+        fill += 1
+        if fill == chunk_events:
+            return buf
+    if fill == 0:
+        return None
+    return buf[:fill].copy()
+
+
+def concat_blocks(blocks: Sequence[EntryBlock]) -> EntryBlock:
+    """Concatenate blocks into one; sortedness is carried when provable.
+
+    The result is flagged sorted when every input is sorted and the
+    blocks abut in non-decreasing time order (last record of each ≤
+    first of the next) — the normal shape for chunked replay of an
+    append-ordered log.
+    """
+    blocks = [b for b in blocks if len(b)]
+    if not blocks:
+        return EntryBlock.empty()
+    if len(blocks) == 1:
+        return blocks[0]
+    data = np.concatenate([b.data for b in blocks])
+    sorted_flag: bool | None = None
+    if all(b.is_sorted for b in blocks):
+        boundaries_ok = all(
+            float(a.timestamps[-1]) <= float(b.timestamps[0])
+            for a, b in zip(blocks, blocks[1:])
+        )
+        sorted_flag = True if boundaries_ok else None
+    return EntryBlock(data, assume_sorted=sorted_flag)

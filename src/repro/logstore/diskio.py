@@ -1,0 +1,102 @@
+"""On-disk layouts for columnar query-log blocks.
+
+Two formats, chosen by file suffix:
+
+``.npz``
+    Compressed-friendly archive of the three columns plus a small
+    metadata record (format version, sorted-run flag).  The portable
+    interchange format — what ``repro generate`` writes and
+    ``repro classify`` reads.
+
+``.npy``
+    The raw structured array, written with :func:`numpy.save`.  This is
+    the **mmap-able** layout: :func:`load_block` with ``mmap=True``
+    memory-maps it read-only so larger-than-RAM logs replay through
+    :func:`iter_blocks` in bounded memory — pages are faulted in per
+    chunk and dropped by the OS behind the read cursor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.logstore.block import DEFAULT_CHUNK_EVENTS, ENTRY_DTYPE, EntryBlock
+
+__all__ = ["save_block", "load_block", "iter_blocks"]
+
+FORMAT_VERSION = 1
+
+_NPZ_KEYS = ("timestamp", "querier", "originator", "meta")
+
+
+def _suffix(path: Path) -> str:
+    suffix = path.suffix.lower()
+    if suffix not in (".npz", ".npy"):
+        raise ValueError(
+            f"unsupported block format {suffix!r} (expected .npz or .npy)"
+        )
+    return suffix
+
+
+def save_block(path: "str | Path", block: EntryBlock) -> None:
+    """Write *block* to *path*; the suffix selects the layout."""
+    path = Path(path)
+    if _suffix(path) == ".npy":
+        np.save(path, np.ascontiguousarray(block.data))
+        return
+    meta = np.array([FORMAT_VERSION, 1 if block.is_sorted else 0], dtype=np.int64)
+    np.savez(
+        path,
+        timestamp=np.ascontiguousarray(block.timestamps),
+        querier=np.ascontiguousarray(block.queriers),
+        originator=np.ascontiguousarray(block.originators),
+        meta=meta,
+    )
+
+
+def load_block(path: "str | Path", mmap: bool = False) -> EntryBlock:
+    """Read a block from *path*.
+
+    ``mmap=True`` memory-maps the ``.npy`` layout instead of reading it
+    (columns become read-only views into the mapping).  The ``.npz``
+    archive cannot be mapped; asking for it raises ``ValueError``.
+    """
+    path = Path(path)
+    suffix = _suffix(path)
+    if suffix == ".npy":
+        data = np.load(path, mmap_mode="r" if mmap else None)
+        if data.dtype != ENTRY_DTYPE or data.ndim != 1:
+            raise ValueError(f"{path} is not an EntryBlock .npy file")
+        return EntryBlock(data)
+    if mmap:
+        raise ValueError(".npz blocks cannot be memory-mapped; use the .npy layout")
+    with np.load(path) as archive:
+        missing = [key for key in _NPZ_KEYS if key not in archive]
+        if missing:
+            raise ValueError(f"{path} is not an EntryBlock .npz file (missing {missing})")
+        meta = archive["meta"]
+        version = int(meta[0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported block format version {version} in {path}")
+        block = EntryBlock.from_arrays(
+            archive["timestamp"], archive["querier"], archive["originator"]
+        )
+        if int(meta[1]):
+            block._sorted = True
+        return block
+
+
+def iter_blocks(
+    path: "str | Path", chunk_events: int = DEFAULT_CHUNK_EVENTS
+):
+    """Replay an on-disk block chunk by chunk.
+
+    ``.npy`` files are memory-mapped, so peak memory is one chunk's
+    worth of touched pages regardless of file size; ``.npz`` archives
+    are loaded once and sliced.
+    """
+    path = Path(path)
+    block = load_block(path, mmap=_suffix(path) == ".npy")
+    yield from block.iter_chunks(chunk_events)

@@ -1,0 +1,218 @@
+"""Array-native dedup for columnar query logs (§ III-A's 30 s rule).
+
+:func:`dedup_mask` reproduces the greedy reference semantics of
+:func:`repro.sensor.collection.dedup_entries` — keep the first query of
+each (querier, originator) burst, drop a repeat that falls strictly
+within ``window`` seconds of the last *kept* query for that pair — as
+vectorized array math.
+
+The trick: after a stable lexsort by (querier, originator), each pair's
+queries form one contiguous run in time/arrival order.  Within a run,
+any query at least ``window`` after its predecessor is a *certain* keep
+regardless of which earlier queries survived (the last kept timestamp
+can never exceed the predecessor's).  Only the "ambiguous" stretches
+where consecutive gaps are below the window need the sequential greedy
+rule, and those are resolved with a small searchsorted walk per
+surviving query — O(kept) python-level steps, not O(n).
+
+Cross-chunk streaming state is supported through ``carry``: a mapping of
+``(querier, originator) -> last kept timestamp`` from earlier chunks of
+the same dedup scope.  Pairs whose carried timestamp can still suppress
+something in this chunk have their whole run re-resolved against it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+__all__ = ["dedup_mask"]
+
+
+def _greedy_run(
+    ts: list[float],
+    keep: np.ndarray,
+    lo: int,
+    hi: int,
+    last_kept: float,
+    window: float,
+) -> None:
+    """Resolve ``ts[lo:hi]`` (time-ordered, all initially dropped) against
+    *last_kept* with the greedy first-of-burst rule, marking survivors.
+
+    *ts* is a plain Python list — ambiguous stretches are typically a
+    couple of elements, where per-call numpy dispatch costs more than
+    the whole resolution; ``bisect`` over the list keeps long stretches
+    logarithmic without that overhead.
+
+    The keep predicate must be bit-identical to the scalar reference's
+    ``t - last_kept >= window`` — which is *not* the same float test as
+    ``t >= last_kept + window`` (e.g. ``2.3 - 1.3 < 1.0`` while
+    ``1.3 + 1.0 == 2.3``).  bisect on the sum is only a guess, corrected
+    by a couple of ulp-boundary steps with the exact subtraction
+    predicate; corrected-over elements are skipped for good, so the walk
+    stays amortized linear in the run length.
+    """
+    i = lo
+    while i < hi:
+        j = bisect_left(ts, last_kept + window, i, hi)
+        while j > i and ts[j - 1] - last_kept >= window:
+            j -= 1
+        while j < hi and ts[j] - last_kept < window:
+            j += 1
+        if j >= hi:
+            break
+        keep[j] = True
+        last_kept = ts[j]
+        i = j + 1
+
+
+def dedup_mask(
+    timestamps: np.ndarray,
+    queriers: np.ndarray,
+    originators: np.ndarray,
+    window: float,
+    carry: dict[tuple[int, int], float] | None = None,
+) -> tuple[np.ndarray, dict[tuple[int, int], float]]:
+    """Boolean keep-mask for greedy per-pair dedup over a time-ordered chunk.
+
+    Parameters
+    ----------
+    timestamps, queriers, originators:
+        Parallel columns in non-decreasing timestamp order (callers
+        validate; this function assumes it).
+    window:
+        Suppression horizon in seconds; a repeat strictly within
+        ``window`` of the last kept query for its pair is dropped.
+    carry:
+        Last-kept timestamps from earlier chunks of the same dedup
+        scope, or ``None`` for a self-contained chunk.  When a dict is
+        given (even empty), the second return value holds the updated
+        last-kept timestamp for every pair that kept at least one query
+        in this chunk — merge it into the caller's state with
+        ``state.update(updates)``.
+
+    Returns
+    -------
+    (mask, updates):
+        ``mask`` is a boolean array in the chunk's original order;
+        ``updates`` is the carry-state delta (empty when ``carry`` is
+        ``None``).
+
+    Equal timestamps are resolved in arrival order — the lexsort is
+    stable, so within a pair the earlier array index wins, exactly like
+    the sequential reference.
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    n = int(timestamps.shape[0])
+    updates: dict[tuple[int, int], float] = {}
+    if n == 0:
+        return np.ones(0, dtype=bool), updates
+
+    order = np.lexsort((originators, queriers))
+    tq = timestamps[order]
+    qq = queriers[order]
+    oq = originators[order]
+
+    # Pair-run boundaries in the sorted layout.
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    if n > 1:
+        np.logical_or(qq[1:] != qq[:-1], oq[1:] != oq[:-1], out=new_group[1:])
+    starts = np.flatnonzero(new_group)
+
+    # Certain keeps: run starts, and any query >= window after its
+    # predecessor (last_kept <= predecessor's timestamp, so the gap
+    # guarantees survival no matter how the prefix resolved).
+    keep = new_group.copy()
+    if n > 1:
+        keep[1:] |= (tq[1:] - tq[:-1]) >= window
+    certain = keep.copy()
+
+    n_groups = int(starts.size)
+    bounds = np.append(starts, n)
+    group_resolved = np.zeros(n_groups, dtype=bool)
+    tq_list: list[float] | None = None  # lazy .tolist() for greedy walks
+
+    # Carried state: re-resolve any run whose pair was kept recently
+    # enough that the carry can still suppress this chunk's queries.
+    if carry:
+        # Input is time-ordered, so the chunk minimum is the first entry
+        # (NOT tq[0], which is the lexsorted layout's first pair).  The
+        # liveness test must use the scalar keep predicate's exact float
+        # expression (t - last < window): subtraction and addition round
+        # differently near the horizon.
+        t_min = float(timestamps[0])
+        live = [
+            (pair, last)
+            for pair, last in carry.items()
+            if t_min - last < window
+        ]
+        if live:
+            sq = qq[starts]
+            so = oq[starts]
+            tq_list = tq.tolist()
+            for (pair_q, pair_o), last in live:
+                lo = int(np.searchsorted(sq, pair_q, side="left"))
+                hi = int(np.searchsorted(sq, pair_q, side="right"))
+                if lo == hi:
+                    continue
+                g = lo + int(np.searchsorted(so[lo:hi], pair_o, side="left"))
+                if g >= hi or int(so[g]) != pair_o:
+                    continue
+                s, e = int(bounds[g]), int(bounds[g + 1])
+                keep[s:e] = False
+                _greedy_run(tq_list, keep, s, e, last, window)
+                group_resolved[g] = True
+
+    # Ambiguous stretches (gap < window from predecessor) in not-yet-
+    # resolved runs: replay the greedy rule from the preceding certain
+    # keep.  A run of certainty guarantees the element before an
+    # ambiguous stretch is kept with last_kept == its own timestamp.
+    amb = ~certain
+    if amb.any():
+        idx = np.flatnonzero(amb)
+        breaks = np.flatnonzero(np.diff(idx) > 1)
+        run_lo = idx[np.concatenate(([0], breaks + 1))]
+        run_hi = idx[np.concatenate((breaks, [idx.size - 1]))] + 1
+        if tq_list is None:
+            tq_list = tq.tolist()
+        stretch_group = np.searchsorted(starts, run_lo, side="right") - 1
+        ends = bounds[stretch_group + 1]
+        for s, e, g, group_end in zip(
+            run_lo.tolist(), run_hi.tolist(), stretch_group.tolist(), ends.tolist()
+        ):
+            if group_resolved[g]:
+                continue
+            # s > starts[g]: a run start is always certain, so the
+            # ambiguous stretch has an in-group predecessor, which is a
+            # certain keep (ambiguity is defined per-stretch).
+            anchor = tq_list[s - 1]
+            _greedy_run(tq_list, keep, s, min(e, group_end), anchor, window)
+            # A stretch never spans groups (run starts are certain), so
+            # the min() clamp is defensive only.
+
+    # Carry-state delta: last kept timestamp per pair with >= 1 keep.
+    if carry is not None:
+        kept_pos = np.flatnonzero(keep)
+        if kept_pos.size:
+            g = np.searchsorted(starts, kept_pos, side="right") - 1
+            last_mask = np.empty(g.size, dtype=bool)
+            last_mask[-1] = True
+            if g.size > 1:
+                last_mask[:-1] = g[1:] != g[:-1]
+            last_pos = kept_pos[last_mask]
+            updates = {
+                (q, o): t
+                for q, o, t in zip(
+                    qq[last_pos].tolist(),
+                    oq[last_pos].tolist(),
+                    tq[last_pos].tolist(),
+                )
+            }
+
+    mask = np.empty(n, dtype=bool)
+    mask[order] = keep
+    return mask, updates

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.dnssim.message import QueryLogEntry
 
 if TYPE_CHECKING:
-    import numpy as np
-
+    from repro.logstore import EntryBlock
     from repro.sketch.prestage import SketchPreStage
 
 __all__ = [
@@ -62,17 +63,35 @@ def dedup_entries(
 
 @dataclass(slots=True)
 class OriginatorObservation:
-    """All (deduped) reverse queries for one originator in one interval."""
+    """All (deduped) reverse queries for one originator in one interval.
+
+    The unique-querier view is computed lazily and cached — ``queriers``
+    already holds every address, so materializing a set per ``add``
+    would keep a third copy of the column alive for observations whose
+    footprint is never read (pre-gate drops, sketch DEFERs).
+    """
 
     originator: int
     timestamps: list[float] = field(default_factory=list)
     queriers: list[int] = field(default_factory=list)
-    _unique: set[int] = field(default_factory=set)
+    _unique: frozenset[int] | None = field(default=None, repr=False, compare=False)
 
     def add(self, timestamp: float, querier: int) -> None:
         self.timestamps.append(timestamp)
         self.queriers.append(querier)
-        self._unique.add(querier)
+        self._unique = None
+
+    def extend_arrays(self, timestamps: "np.ndarray", queriers: "np.ndarray") -> None:
+        """Bulk append from parallel column arrays (block ingest path)."""
+        self.timestamps.extend(timestamps.tolist())
+        self.queriers.extend(queriers.tolist())
+        self._unique = None
+
+    def extend_lists(self, timestamps: list[float], queriers: list[int]) -> None:
+        """Bulk append from parallel plain lists (block ingest path)."""
+        self.timestamps.extend(timestamps)
+        self.queriers.extend(queriers)
+        self._unique = None
 
     @property
     def query_count(self) -> int:
@@ -80,12 +99,14 @@ class OriginatorObservation:
 
     @property
     def unique_queriers(self) -> frozenset[int]:
-        return frozenset(self._unique)
+        if self._unique is None:
+            self._unique = frozenset(self.queriers)
+        return self._unique
 
     @property
     def footprint(self) -> int:
         """Unique querier count — the paper's footprint estimate (§ VI-A)."""
-        return len(self._unique)
+        return len(self.unique_queriers)
 
 
 @dataclass(slots=True)
@@ -124,43 +145,84 @@ class ObservationWindow:
         return self.observations.get(originator)
 
 
+def extend_window_arrays(
+    window: ObservationWindow,
+    timestamps: np.ndarray,
+    queriers: np.ndarray,
+    originators: np.ndarray,
+) -> None:
+    """Append deduped columns into *window*, grouped by originator.
+
+    Observations are created in **first-kept-appearance order** — the
+    same ``dict`` insertion order the per-entry path produces — because
+    downstream feature-matrix row order follows it.  A stable argsort by
+    originator makes each group's first sorted element its earliest
+    appearance, so ordering groups by that original index reproduces the
+    sequential insertion sequence.
+    """
+    if timestamps.size == 0:
+        return
+    order = np.argsort(originators, kind="stable")
+    sorted_orig = originators[order]
+    uniq, first = np.unique(sorted_orig, return_index=True)
+    bounds = np.append(first, sorted_orig.size).tolist()
+    appearance = np.argsort(order[first], kind="stable")
+    # Gather each column once in group order; per-group work is then
+    # plain list slicing (groups are typically a handful of events, where
+    # per-group fancy indexing would dominate the whole pass).
+    ts_sorted = timestamps[order].tolist()
+    qs_sorted = queriers[order].tolist()
+    uniq_list = uniq.tolist()
+    observations = window.observations
+    for g in appearance.tolist():
+        originator = uniq_list[g]
+        lo, hi = bounds[g], bounds[g + 1]
+        observation = observations.get(originator)
+        if observation is None:
+            observation = OriginatorObservation(originator=originator)
+            observations[originator] = observation
+        observation.extend_lists(ts_sorted[lo:hi], qs_sorted[lo:hi])
+
+
 def collect_window(
-    entries: list[QueryLogEntry],
+    entries: "Iterable[QueryLogEntry] | EntryBlock",
     start: float,
     end: float,
     dedup_window: float = DEDUP_WINDOW_SECONDS,
 ) -> ObservationWindow:
     """Build an :class:`ObservationWindow` from raw log entries.
 
-    Filters to ``start <= t < end``, dedups, then groups by originator.
+    Filters to ``start <= t < end``, dedups, then groups by originator —
+    as pure array math over the columnar form.  *entries* may be an
+    :class:`~repro.logstore.EntryBlock` (used as-is) or any iterable of
+    :class:`QueryLogEntry` (converted in bounded chunks).
 
-    This is a thin batch adapter over the canonical streaming
-    implementation (:class:`repro.sensor.streaming.StreamingCollector`):
-    the whole span is treated as a single observation window, so dedup
-    semantics are defined exactly once.
+    In-range entries must be in non-decreasing timestamp order; order is
+    validated **before** any state is built, so a failed call leaves no
+    partial window behind.  The dedup semantics are the canonical ones
+    shared with :class:`repro.sensor.streaming.StreamingCollector`, via
+    :func:`repro.logstore.dedup_mask` (bit-identical to
+    :func:`dedup_entries`, pinned by property tests).
     """
-    # Local import: streaming.py depends on this module's value types.
-    from repro.sensor.streaming import StreamingCollector
+    from repro.logstore import EntryBlock, dedup_mask
 
     if end <= start:
         raise ValueError("end must be after start")
-    collector = StreamingCollector(
-        window_seconds=end - start,
-        origin=start,
-        dedup_window=dedup_window,
-        reorder_slack=0.0,
+    if dedup_window < 0:
+        raise ValueError("dedup_window and reorder_slack must be non-negative")
+    block = entries if isinstance(entries, EntryBlock) else EntryBlock.from_entries(entries)
+    ts = block.timestamps
+    in_range = (ts >= start) & (ts < end)
+    timestamps = ts[in_range]
+    window = ObservationWindow(start=start, end=end)
+    if timestamps.size == 0:
+        return window
+    if np.any(timestamps[1:] < timestamps[:-1]):
+        raise ValueError("entries are not time-ordered")
+    queriers = block.queriers[in_range]
+    originators = block.originators[in_range]
+    mask, _ = dedup_mask(timestamps, queriers, originators, dedup_window)
+    extend_window_arrays(
+        window, timestamps[mask], queriers[mask], originators[mask]
     )
-    previous_ts = float("-inf")
-    for entry in entries:
-        if not start <= entry.timestamp < end:
-            continue
-        if entry.timestamp < previous_ts:
-            raise ValueError("entries are not time-ordered")
-        previous_ts = entry.timestamp
-        collector.ingest(entry)
-    emitted = collector.flush()
-    if not emitted:
-        return ObservationWindow(start=start, end=end)
-    window = emitted[0]
-    window.end = end  # a span shorter than window_seconds keeps its bound
     return window

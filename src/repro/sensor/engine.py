@@ -53,6 +53,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.dnssim.message import QueryLogEntry
+from repro.logstore import EntryBlock
 from repro.ml.forest import ForestConfig, RandomForestClassifier
 from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
 from repro.sensor.collection import DEDUP_WINDOW_SECONDS, ObservationWindow
@@ -411,6 +412,31 @@ class SensorEngine:
             self.collector.ingest_many(entries)
         self.stats["ingest"].seconds += sp.elapsed
 
+    def ingest_block(self, block: EntryBlock) -> None:
+        """Feed one columnar block of live entries (streaming path).
+
+        The vectorized counterpart of :meth:`ingest_many`: the block's
+        columns run through the collector's array core
+        (:meth:`~repro.sensor.streaming.StreamingCollector.ingest_block`),
+        with identical semantics to feeding the same entries one by one.
+        """
+        with self._scope():
+            with span("stage.ingest") as sp:
+                self.collector.ingest_block(block)
+            self.stats["ingest"].seconds += sp.elapsed
+            self._emit_block_metrics(block, path="stream")
+
+    def _emit_block_metrics(self, block: EntryBlock, path: str) -> None:
+        """Publish ``repro_ingest_*`` block telemetry (registry in scope)."""
+        if get_registry() is None:
+            return
+        count("repro_ingest_blocks_total", 1,
+              help="Columnar blocks fed to the ingest plane.", path=path)
+        count("repro_ingest_block_events_total", len(block),
+              help="Events ingested via columnar blocks.", path=path)
+        set_gauge("repro_ingest_block_bytes", block.nbytes,
+                  help="Bytes in the most recently ingested block.", path=path)
+
     def poll(self, classify: bool | None = None) -> list[SensedWindow]:
         """Windows the watermark has closed since the last poll.
 
@@ -480,9 +506,22 @@ class SensorEngine:
 
     # -- batch adapters -------------------------------------------------
 
+    @staticmethod
+    def _block_in_range(block: EntryBlock, start: float, end: float) -> EntryBlock:
+        """In-range sub-block, order-validated before any state is built.
+
+        Mirrors the object path's contract: only the entries inside
+        ``[start, end)`` must be time-ordered, and a failed validation
+        raises before the collector sees anything.
+        """
+        sub = block.slice_time(start, end)
+        if not sub.is_sorted:
+            raise ValueError("entries are not time-ordered")
+        return sub
+
     def windows(
         self,
-        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry] | EntryBlock,
         start: float,
         end: float,
         window_seconds: float | None = None,
@@ -495,6 +534,12 @@ class SensorEngine:
         windows, so indexes are contiguous — what the longitudinal
         analyses expect.  Out-of-order input raises (batch logs are
         append-ordered); use the streaming path for live reordering.
+
+        *entries* may be an :class:`~repro.logstore.EntryBlock`, in
+        which case the whole pipeline runs as array math (searchsorted
+        range slicing, vectorized dedup, observations extended from
+        column slices) and produces bit-identical windows to the
+        per-object path.
         """
         if end <= start:
             raise ValueError("end must be after start")
@@ -514,17 +559,24 @@ class SensorEngine:
             # ingest time; closing and assembling windows is window
             # time — each wall second lands in exactly one stage.
             with span("stage.ingest") as ingest_span:
-                ingested = dropped = 0
-                previous_ts = float("-inf")
-                for entry in entries:
-                    ingested += 1
-                    if not start <= entry.timestamp < end:
-                        dropped += 1
-                        continue
-                    if entry.timestamp < previous_ts:
-                        raise ValueError("entries are not time-ordered")
-                    previous_ts = entry.timestamp
-                    collector.ingest(entry)
+                if isinstance(entries, EntryBlock):
+                    ingested = len(entries)
+                    sub = self._block_in_range(entries, start, end)
+                    dropped = ingested - len(sub)
+                    collector.ingest_block(sub)
+                    self._emit_block_metrics(sub, path="batch")
+                else:
+                    ingested = dropped = 0
+                    previous_ts = float("-inf")
+                    for entry in entries:
+                        ingested += 1
+                        if not start <= entry.timestamp < end:
+                            dropped += 1
+                            continue
+                        if entry.timestamp < previous_ts:
+                            raise ValueError("entries are not time-ordered")
+                        previous_ts = entry.timestamp
+                        collector.ingest(entry)
             with span("stage.window") as window_span:
                 emitted = {
                     self._index_of(window.start, start, width): window
@@ -577,6 +629,8 @@ class SensorEngine:
         stage drops; pass-1 wall time is select-stage time (it *is* the
         approximate select).
         """
+        if isinstance(entries, EntryBlock):
+            return self._windows_sketch_block(entries, start, end, width)
         params = self.config.sketch_params()
         with self._scope():
             with span("stage.ingest") as ingest_span:
@@ -690,13 +744,114 @@ class SensorEngine:
                 )
         return windows
 
+    def _windows_sketch_block(
+        self,
+        block: EntryBlock,
+        start: float,
+        end: float,
+        width: float,
+    ) -> list[ObservationWindow]:
+        """Sketch-mode :meth:`windows` over a columnar block.
+
+        The pre-stage's ``observe_batch`` consumes the block's columns
+        directly — no per-event object traffic at all — and pass 2 feeds
+        the survivor column slices through the collector's array core.
+        Survivor observations stay bit-identical to the exact path.
+        """
+        params = self.config.sketch_params()
+        with self._scope():
+            with span("stage.ingest") as ingest_span:
+                ingested = len(block)
+                sub = self._block_in_range(block, start, end)
+                n = len(sub)
+                dropped = ingested - n
+                timestamps = sub.timestamps
+                queriers = sub.queriers
+                originators = sub.originators
+                self._emit_block_metrics(sub, path="batch")
+            with span("stage.select") as select_span:
+                # Entries are time-ordered, so window indices are
+                # non-decreasing and each window is a contiguous slice.
+                indices = ((timestamps - start) // width).astype(np.int64)
+                uniq, bounds = np.unique(indices, return_index=True)
+                bounds = np.append(bounds, n)
+                prestages: dict[int, SketchPreStage] = {}
+                survivor_mask = np.zeros(n, dtype=bool)
+                for k, window_index in enumerate(uniq):
+                    lo, hi = int(bounds[k]), int(bounds[k + 1])
+                    prestage = SketchPreStage(params)
+                    prestage.exact_observations = True
+                    prestage.observe_batch(
+                        timestamps[lo:hi], queriers[lo:hi], originators[lo:hi]
+                    )
+                    prestages[int(window_index)] = prestage
+                    survivor_mask[lo:hi] = np.isin(
+                        originators[lo:hi], prestage.survivors()
+                    )
+                gated_events = int(n - int(survivor_mask.sum()))
+            collector = StreamingCollector(
+                window_seconds=width,
+                origin=start,
+                dedup_window=self.config.dedup_window,
+                reorder_slack=0.0,
+            )
+            with span("stage.window") as window_span:
+                collector.ingest_arrays(
+                    timestamps[survivor_mask],
+                    queriers[survivor_mask],
+                    originators[survivor_mask],
+                )
+                emitted = {
+                    self._index_of(window.start, start, width): window
+                    for window in collector.flush()
+                }
+                windows: list[ObservationWindow] = []
+                index = 0
+                window_start = start
+                while window_start < end:
+                    window_end = min(window_start + width, end)
+                    window = emitted.get(
+                        index, ObservationWindow(start=window_start, end=window_end)
+                    )
+                    window.end = window_end
+                    prestage = prestages.get(index)
+                    if prestage is not None:
+                        window.prestage = prestage
+                        window.querier_roster = prestage.roster_array()
+                    windows.append(window)
+                    index += 1
+                    window_start = window_start + width
+            accepted = ingested - dropped
+            self._record_stage(
+                "ingest",
+                items_in=ingested,
+                items_out=accepted,
+                dropped=dropped,
+                seconds=ingest_span.elapsed,
+            )
+            self._record_stage("select", seconds=select_span.elapsed)
+            self._record_stage(
+                "window",
+                items_in=accepted,
+                items_out=len(windows),
+                dropped=collector.stats.deduplicated + gated_events,
+                seconds=window_span.elapsed,
+            )
+            if get_registry() is not None:
+                count(
+                    "repro_sketch_events_total", gated_events,
+                    help="Events through the sketch pre-stage, by outcome.",
+                    result="gated",
+                )
+        return windows
+
     @staticmethod
     def _index_of(window_start: float, origin: float, width: float) -> int:
         return int(round((window_start - origin) / width))
 
     def collect(
         self,
-        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry] | EntryBlock,
         start: float,
         end: float,
     ) -> ObservationWindow:
@@ -892,7 +1047,7 @@ class SensorEngine:
 
     def process(
         self,
-        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry],
+        entries: Sequence[QueryLogEntry] | Iterable[QueryLogEntry] | EntryBlock,
         start: float,
         end: float,
         classify: bool | None = None,
@@ -901,7 +1056,9 @@ class SensorEngine:
 
         Slices ``[start, end)`` into config-width windows and runs each
         through select/featurize (and classify when fitted, or when
-        *classify* is forced true).
+        *classify* is forced true).  Columnar input
+        (:class:`~repro.logstore.EntryBlock`) runs end-to-end as array
+        math, bit-identical to the per-object path.
         """
         with self._scope(), span("engine.run"):
             return [

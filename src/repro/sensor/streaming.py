@@ -38,14 +38,19 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
+import numpy as np
+
 from repro.dnssim.message import QueryLogEntry
+from repro.logstore.ops import dedup_mask
 from repro.sensor.collection import (
     DEDUP_WINDOW_SECONDS,
     ObservationWindow,
     OriginatorObservation,
+    extend_window_arrays,
 )
 
 if TYPE_CHECKING:
+    from repro.logstore import EntryBlock
     from repro.sketch.prestage import SketchPreStage
 
 __all__ = ["StreamingStats", "StreamingCollector"]
@@ -126,9 +131,12 @@ class StreamingCollector:
         self.stats = StreamingStats()
         self._high_water = float("-inf")
         self._emitted_through = origin
-        # Reorder buffer: (timestamp, arrival seq, entry), popped in time
-        # order once the watermark passes the timestamp.
-        self._pending: list[tuple[float, int, QueryLogEntry]] = []
+        # Reorder buffer: (timestamp, arrival seq, querier, originator),
+        # popped in time order once the watermark passes the timestamp.
+        # Arrival seq breaks timestamp ties, so equal-timestamp entries
+        # always release in arrival order — chunked block ingest relies
+        # on this determinism matching the per-entry path exactly.
+        self._pending: list[tuple[float, int, int, int]] = []
         self._seq = 0
         # Dedup state for the window currently being filled (processing
         # is time-ordered, so only one window accumulates at a time).
@@ -155,24 +163,33 @@ class StreamingCollector:
         return window
 
     def ingest(self, entry: QueryLogEntry) -> None:
-        """Feed one entry; may close windows as the watermark advances."""
+        """Feed one entry; may close windows as the watermark advances.
+
+        This is the thin per-object adapter over the same core the
+        columnar :meth:`ingest_block` path uses; the two are pinned
+        equivalent by property tests.
+        """
         self.stats.ingested += 1
-        if entry.timestamp < self.origin:
+        timestamp = entry.timestamp
+        if timestamp < self.origin:
             self.stats.late_dropped += 1
             return
-        if entry.timestamp < self._high_water - self.reorder_slack:
+        if timestamp < self._high_water - self.reorder_slack:
             self.stats.late_dropped += 1
             return
-        if entry.timestamp > self._high_water:
-            self._high_water = entry.timestamp
-        elif entry.timestamp < self._high_water:
+        if timestamp > self._high_water:
+            self._high_water = timestamp
+        elif timestamp < self._high_water:
             self.stats.reordered += 1
         if self.reorder_slack == 0:
             # Fast path: watermark == high water, the entry is released
             # immediately — no buffering needed.
-            self._process(entry)
+            self._process(timestamp, entry.querier, entry.originator)
         else:
-            heapq.heappush(self._pending, (entry.timestamp, self._seq, entry))
+            heapq.heappush(
+                self._pending,
+                (timestamp, self._seq, entry.querier, entry.originator),
+            )
             self._seq += 1
         self._release(self._high_water - self.reorder_slack)
 
@@ -180,12 +197,117 @@ class StreamingCollector:
         for entry in entries:
             self.ingest(entry)
 
+    def ingest_block(self, block: "EntryBlock") -> None:
+        """Feed one columnar block through the vectorized ingest core."""
+        self.ingest_arrays(block.timestamps, block.queriers, block.originators)
+
+    def ingest_arrays(
+        self,
+        timestamps: np.ndarray,
+        queriers: np.ndarray,
+        originators: np.ndarray,
+    ) -> None:
+        """Vectorized chunk ingest: same semantics as per-entry ``ingest``.
+
+        Lateness/reorder accounting, watermark advancement, and release
+        ordering are computed as array math; the released pool is then
+        processed per window index with the columnar dedup
+        (:func:`repro.logstore.dedup_mask`) carrying the exact
+        ``_last_kept`` state across chunks.  Entries the watermark has
+        not passed are parked in the same ``(timestamp, seq, querier,
+        originator)`` heap the scalar path uses, so the two paths
+        interleave freely.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=np.float64)
+        qs = np.ascontiguousarray(queriers, dtype=np.int64)
+        os_ = np.ascontiguousarray(originators, dtype=np.int64)
+        n = int(ts.size)
+        self.stats.ingested += n
+        if n == 0:
+            return
+        # High water *before* each entry: running max shifted one, seeded
+        # with the pre-chunk high water.  Late entries never update the
+        # scalar high water, and the running max is unaffected by
+        # including them (anything below the watermark is below the max).
+        prev_high = self._high_water
+        running = np.maximum.accumulate(ts)
+        high_before = np.empty(n, dtype=np.float64)
+        high_before[0] = prev_high
+        if n > 1:
+            np.maximum(running[:-1], prev_high, out=high_before[1:])
+        late = ts < self.origin
+        late |= ts < high_before - self.reorder_slack
+        n_late = int(np.count_nonzero(late))
+        if n_late:
+            self.stats.late_dropped += n_late
+            if n_late == n:
+                return
+            accepted = ~late
+            ts = ts[accepted]
+            qs = qs[accepted]
+            os_ = os_[accepted]
+            high_before = high_before[accepted]
+        self.stats.reordered += int(np.count_nonzero(ts < high_before))
+        # running[-1] may include late entries, but a late entry can never
+        # exceed the legitimate high water (slack-late is strictly below
+        # it; below-origin values stay below origin, where no window end,
+        # buffered entry, or dedup horizon can be affected).
+        self._high_water = max(prev_high, float(running[-1]))
+        watermark = self._high_water - self.reorder_slack
+        if self.reorder_slack == 0 and not self._pending:
+            # In-order fast path: with zero slack every accepted entry is
+            # released on arrival, and acceptance implies non-decreasing
+            # timestamps, so arrival order *is* (timestamp, seq) order.
+            self._process_arrays(ts, qs, os_)
+        else:
+            seqs = np.arange(self._seq, self._seq + ts.size, dtype=np.int64)
+            self._seq += int(ts.size)
+            releasable = ts <= watermark
+            held = np.flatnonzero(~releasable)
+            for i in held.tolist():
+                heapq.heappush(
+                    self._pending,
+                    (float(ts[i]), int(seqs[i]), int(qs[i]), int(os_[i])),
+                )
+            pool_ts = ts[releasable]
+            pool_seq = seqs[releasable]
+            pool_q = qs[releasable]
+            pool_o = os_[releasable]
+            if self._pending and self._pending[0][0] <= watermark:
+                drained = []
+                while self._pending and self._pending[0][0] <= watermark:
+                    drained.append(heapq.heappop(self._pending))
+                old_ts = np.array([d[0] for d in drained], dtype=np.float64)
+                old_seq = np.array([d[1] for d in drained], dtype=np.int64)
+                old_q = np.array([d[2] for d in drained], dtype=np.int64)
+                old_o = np.array([d[3] for d in drained], dtype=np.int64)
+                pool_ts = np.concatenate([old_ts, pool_ts])
+                pool_seq = np.concatenate([old_seq, pool_seq])
+                pool_q = np.concatenate([old_q, pool_q])
+                pool_o = np.concatenate([old_o, pool_o])
+            if pool_ts.size:
+                # Released entries process in (timestamp, arrival seq)
+                # order — identical to the scalar heap's pop order.
+                order = np.lexsort((pool_seq, pool_ts))
+                self._process_arrays(pool_ts[order], pool_q[order], pool_o[order])
+        self._emit_ready(watermark)
+        self._prune_dedup(watermark)
+
     # ------------------------------------------------------------------
 
     def _release(self, watermark: float) -> None:
         """Process buffered entries up to *watermark*, then emit windows."""
         while self._pending and self._pending[0][0] <= watermark:
-            self._process(heapq.heappop(self._pending)[2])
+            _ts, _seq, querier, originator = heapq.heappop(self._pending)
+            self._process(_ts, querier, originator)
+        self._emit_ready(watermark)
+        # Periodically prune dedup state too old to suppress anything:
+        # every future processed entry has timestamp >= watermark, so a
+        # pair last kept before (watermark - dedup_window) is inert.
+        if self.stats.ingested % 1024 == 0:
+            self._prune_dedup(watermark)
+
+    def _emit_ready(self, watermark: float) -> None:
         for index in sorted(self._open):
             window = self._open[index]
             if window.end <= watermark:
@@ -193,42 +315,91 @@ class StreamingCollector:
                 self._emit(window)
             else:
                 break
-        # Periodically prune dedup state too old to suppress anything:
-        # every future processed entry has timestamp >= watermark, so a
-        # pair last kept before (watermark - dedup_window) is inert.
-        if self.stats.ingested % 1024 == 0 and self._last_kept:
+
+    def _prune_dedup(self, watermark: float) -> None:
+        if self._last_kept:
             horizon = watermark - self.dedup_window
             self._last_kept = {
                 key: ts for key, ts in self._last_kept.items() if ts >= horizon
             }
 
-    def _process(self, entry: QueryLogEntry) -> None:
+    def _enter_window(self, index: int) -> None:
+        """Reset dedup scope on entering a new observation window."""
+        # Time-ordered processing ⇒ indices never go back.
+        self._dedup_index = index
+        self._last_kept = {}
+        if self._prestage_factory is not None:
+            self._prestage = self._prestage_factory()
+
+    def _process(self, timestamp: float, querier: int, originator: int) -> None:
         """Dedup + group one entry.  Entries arrive here in time order."""
-        index = self._window_index(entry.timestamp)
+        index = self._window_index(timestamp)
         if index != self._dedup_index:
-            # Dedup scope is the observation window: reset on entering a
-            # new one (time-ordered processing ⇒ indices never go back).
-            self._dedup_index = index
-            self._last_kept = {}
-            if self._prestage_factory is not None:
-                self._prestage = self._prestage_factory()
+            self._enter_window(index)
         if self._prestage is not None:
-            self._process_sketched(entry, index)
+            self._process_sketched(timestamp, querier, originator, index)
             return
-        key = (entry.querier, entry.originator)
+        key = (querier, originator)
         last = self._last_kept.get(key)
-        if last is not None and entry.timestamp - last < self.dedup_window:
+        if last is not None and timestamp - last < self.dedup_window:
             self.stats.deduplicated += 1
             return
-        self._last_kept[key] = entry.timestamp
+        self._last_kept[key] = timestamp
         window = self._window_for(index)
-        observation = window.observations.get(entry.originator)
+        observation = window.observations.get(originator)
         if observation is None:
-            observation = OriginatorObservation(originator=entry.originator)
-            window.observations[entry.originator] = observation
-        observation.add(entry.timestamp, entry.querier)
+            observation = OriginatorObservation(originator=originator)
+            window.observations[originator] = observation
+        observation.add(timestamp, querier)
 
-    def _process_sketched(self, entry: QueryLogEntry, index: int) -> None:
+    def _process_arrays(
+        self, ts: np.ndarray, qs: np.ndarray, os_: np.ndarray
+    ) -> None:
+        """Columnar core: dedup + group a time-ordered released pool.
+
+        Splits the pool at observation-window boundaries (timestamps are
+        sorted, so the window index column is non-decreasing), resets
+        dedup scope per window exactly like the scalar path, and runs
+        the vectorized dedup with ``_last_kept`` as carry state so a
+        window fed across many chunks dedups identically to one pass.
+        Sketch mode's promote logic is inherently sequential, so it
+        falls back to the scalar per-entry core.
+        """
+        if ts.size == 0:
+            return
+        indices = np.floor_divide(ts - self.origin, self.window_seconds).astype(
+            np.int64
+        )
+        uniq, bounds = np.unique(indices, return_index=True)
+        bounds = np.append(bounds, ts.size)
+        for k in range(int(uniq.size)):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            index = int(uniq[k])
+            if index != self._dedup_index:
+                self._enter_window(index)
+            if self._prestage is not None:
+                for t, q, o in zip(
+                    ts[lo:hi].tolist(), qs[lo:hi].tolist(), os_[lo:hi].tolist()
+                ):
+                    self._process_sketched(t, q, o, index)
+                continue
+            w_ts = ts[lo:hi]
+            w_qs = qs[lo:hi]
+            w_os = os_[lo:hi]
+            mask, updates = dedup_mask(
+                w_ts, w_qs, w_os, self.dedup_window, carry=self._last_kept
+            )
+            kept = int(np.count_nonzero(mask))
+            self.stats.deduplicated += (hi - lo) - kept
+            if kept == 0:
+                continue
+            self._last_kept.update(updates)
+            window = self._window_for(index)
+            extend_window_arrays(window, w_ts[mask], w_qs[mask], w_os[mask])
+
+    def _process_sketched(
+        self, timestamp: float, querier: int, originator: int, index: int
+    ) -> None:
         """Sketch mode: summarize first, materialize only KEEP verdicts.
 
         The pre-stage's bucketed Bloom filter takes over duplicate
@@ -237,9 +408,7 @@ class StreamingCollector:
         """
         from repro.sketch.prestage import DEFER, DUPLICATE
 
-        verdict = self._prestage.observe(
-            entry.timestamp, entry.querier, entry.originator
-        )
+        verdict = self._prestage.observe(timestamp, querier, originator)
         if verdict == DUPLICATE:
             self.stats.deduplicated += 1
             return
@@ -248,11 +417,11 @@ class StreamingCollector:
             window.prestage = self._prestage
         if verdict == DEFER:
             return
-        observation = window.observations.get(entry.originator)
+        observation = window.observations.get(originator)
         if observation is None:
-            observation = OriginatorObservation(originator=entry.originator)
-            window.observations[entry.originator] = observation
-        observation.add(entry.timestamp, entry.querier)
+            observation = OriginatorObservation(originator=originator)
+            window.observations[originator] = observation
+        observation.add(timestamp, querier)
 
     def _emit(self, window: ObservationWindow) -> None:
         if window.prestage is not None and window.querier_roster is None:

@@ -40,6 +40,7 @@ class TestGenerate:
         assert names == {
             "B-post-ditl.log",
             "B-post-ditl.rbsc",
+            "B-post-ditl.npz",
             "B-post-ditl.queriers.jsonl",
             "B-post-ditl.labels.json",
         }
@@ -57,6 +58,16 @@ class TestGenerate:
             and a.originator == b.originator
             for a, b in zip(text, binary)
         )
+
+    def test_block_matches_binary_log(self, generated):
+        from repro.datasets.dnstap import read_frames_block
+        from repro.logstore import load_block
+
+        block = load_block(generated / "B-post-ditl.npz")
+        frames = read_frames_block(generated / "B-post-ditl.rbsc")
+        assert len(block) == len(frames)
+        # The .rbsc frames narrow addresses to u32; values are identical.
+        assert block == frames
 
     def test_labels_valid_classes(self, generated):
         from repro.activity import APPLICATION_CLASSES
@@ -81,6 +92,22 @@ class TestClassify:
         assert "analyzable" in out
         assert "originator" in out
 
+    def test_block_log_matches_binary(self, generated, capsys):
+        """classify accepts .npz / .rbsc inputs and prints the same verdicts."""
+        argv = [
+            "classify",
+            "-d", str(generated / "B-post-ditl.queriers.jsonl"),
+            "-t", str(generated / "B-post-ditl.labels.json"),
+            "--min-queriers", "5",
+            "--top", "5",
+        ]
+        code = main(argv + ["-l", str(generated / "B-post-ditl.rbsc")])
+        assert code == 0
+        binary_out = capsys.readouterr().out
+        code = main(argv + ["-l", str(generated / "B-post-ditl.npz")])
+        assert code == 0
+        assert capsys.readouterr().out == binary_out
+
     def test_empty_log_fails_cleanly(self, tmp_path, generated):
         empty = tmp_path / "empty.log"
         empty.write_text("")
@@ -91,6 +118,34 @@ class TestClassify:
             "-t", str(generated / "B-post-ditl.labels.json"),
         ])
         assert code == 1
+
+
+class TestConvert:
+    def test_roundtrip_through_every_format(self, generated, tmp_path, capsys):
+        from repro.datasets.dnstap import read_frames_block
+        from repro.logstore import load_block
+
+        source = generated / "B-post-ditl.rbsc"
+        npy = tmp_path / "log.npy"
+        rbsc = tmp_path / "log.rbsc"
+        assert main(["convert", str(source), "-o", str(npy)]) == 0
+        assert main(["convert", str(npy), "-o", str(rbsc)]) == 0
+        out = capsys.readouterr().out
+        assert f"entries to {npy}" in out and f"entries to {rbsc}" in out
+        original = read_frames_block(source)
+        assert load_block(npy) == original
+        assert read_frames_block(rbsc) == original
+
+    def test_text_output_rounds_milliseconds(self, generated, tmp_path):
+        from repro.datasets import read_log_block
+        from repro.datasets.dnstap import read_frames_block
+
+        text = tmp_path / "log.log"
+        assert main(["convert", str(generated / "B-post-ditl.rbsc"), "-o", str(text)]) == 0
+        original = read_frames_block(generated / "B-post-ditl.rbsc")
+        converted = read_log_block(text)
+        assert len(converted) == len(original)
+        assert abs(converted.timestamps - original.timestamps).max() < 1e-2
 
 
 class TestFigures:

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.logstore
 import repro.sensor
 import repro.sketch
 import repro.telemetry
@@ -26,6 +27,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 CURATED = {
     "repro": repro,
+    "repro.logstore": repro.logstore,
     "repro.sensor": repro.sensor,
     "repro.sketch": repro.sketch,
     "repro.telemetry": repro.telemetry,
