@@ -27,7 +27,12 @@ writes a snapshot when it finishes — Prometheus text or JSON lines.
 every N sensed windows, the live-deployment cadence.  ``repro classify
 --sketch`` (with ``--sketch-width`` / ``--hll-precision``) runs the
 constant-memory probabilistic pre-select stage in both batch and
-``--stream`` modes.
+``--stream`` modes.  ``repro classify --shards N`` federates the run
+across N originator-partitioned shard engines
+(:mod:`repro.federation`; output is bit-identical to a single engine),
+and ``--vantage NAME=LOG`` (repeatable, batch-only) classifies extra
+vantage logs with the same trained stage and prints verdicts fused
+across vantages.
 """
 
 from __future__ import annotations
@@ -192,10 +197,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_vantages(args: argparse.Namespace) -> list[tuple[str, str]] | None:
+    """``--vantage NAME=LOG`` pairs, validated; None on error."""
+    vantages: list[tuple[str, str]] = []
+    for item in args.vantage or []:
+        name, sep, path = item.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"--vantage expects NAME=LOG, got {item!r}", file=sys.stderr
+            )
+            return None
+        vantages.append((name, path))
+    return vantages
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.datasets import read_directory
     from repro.sensor import LabeledSet, SensorConfig, SensorEngine
 
+    if args.shards < 1:
+        print("--shards must be positive", file=sys.stderr)
+        return 1
+    vantages = _parse_vantages(args)
+    if vantages is None:
+        return 1
+    if vantages and args.stream:
+        print("--vantage fusion is batch-only (drop --stream)", file=sys.stderr)
+        return 1
     entries = _load_log(args.log)
     if not entries:
         print("log is empty", file=sys.stderr)
@@ -238,14 +266,82 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.stream:
         return _classify_stream(args, trainer, registry, entries, start, end)
 
-    verdicts = sorted(trainer.classify(features), key=lambda v: -v.footprint)
+    stats_text = ""
+    if args.shards > 1:
+        # Federated batch run: same span, same trained classifier, rows
+        # and verdicts bit-identical to the single engine's.
+        from repro.federation import FederatedSensor
+
+        with FederatedSensor(
+            directory, trainer.config, n_shards=args.shards, registry=registry
+        ) as federated:
+            federated.fit_from(trainer)
+            merged = federated.process(entries, start, end)[0]
+            verdicts = sorted(merged.verdicts, key=lambda v: -v.footprint)
+            if args.stats:
+                stats_text = federated.format_accounting()
+    else:
+        verdicts = sorted(trainer.classify(features), key=lambda v: -v.footprint)
+        if args.stats:
+            stats_text = trainer.format_accounting()
     print(f"{'originator':<16} {'queriers':>8}  class")
     for verdict in verdicts[: args.top]:
         print(f"{ip_to_str(verdict.originator):<16} {verdict.footprint:>8}  {verdict.app_class}")
+    if vantages:
+        code = _classify_vantages(args, trainer, verdicts, vantages)
+        if code != 0:
+            return code
     if args.stats:
         print()
-        print(trainer.format_accounting())
+        print(stats_text)
     _write_snapshot(args, registry)
+    return 0
+
+
+def _classify_vantages(
+    args: argparse.Namespace,
+    trainer,
+    primary_verdicts,
+    vantages: list[tuple[str, str]],
+) -> int:
+    """Classify each extra vantage log and print the fused judgements.
+
+    Each ``--vantage NAME=LOG`` is the same deployment's trained
+    classifier applied to *that* vantage's (attenuated) view; fusion
+    keys on ``(originator, vantage)`` per
+    :func:`repro.federation.fusion.fuse_verdicts`.
+    """
+    from repro.federation import fuse_verdicts
+    from repro.sensor import SensorEngine
+
+    primary_name = Path(args.log).stem
+    per_vantage = {primary_name: primary_verdicts}
+    for name, path in vantages:
+        if name in per_vantage:
+            print(f"duplicate vantage name {name!r}", file=sys.stderr)
+            return 1
+        vantage_entries = _load_log(path)
+        if not vantage_entries:
+            print(f"vantage log {path} is empty", file=sys.stderr)
+            return 1
+        engine = SensorEngine(trainer.directory, trainer.config)
+        engine.fit_from(trainer)
+        start = trainer.config.origin
+        end = start + trainer.config.window_seconds
+        sensed = engine.process(vantage_entries, start, end)
+        per_vantage[name] = [v for window in sensed for v in window.verdicts]
+    fused = fuse_verdicts(per_vantage)
+    print()
+    print(f"fused across {len(per_vantage)} vantages:")
+    print(f"{'originator':<16} {'queriers':>8}  class     vantages")
+    for item in fused[: args.top]:
+        detail = ", ".join(
+            f"{name}={item.verdicts[name]}" for name in item.vantages
+        )
+        print(
+            f"{ip_to_str(item.originator):<16} {item.footprint:>8}  "
+            f"{item.app_class:<8}  {detail}"
+        )
     return 0
 
 
@@ -263,26 +359,34 @@ def _classify_stream(
     if args.window <= 0:
         print("--window must be positive", file=sys.stderr)
         return 1
-    engine = SensorEngine(
-        trainer.directory,
-        SensorConfig(
-            window_seconds=args.window,
-            origin=start,
-            min_queriers=args.min_queriers,
-            featurize_workers=args.workers,
-            **_sketch_overrides(args),
-        ),
-        registry=registry,
+    config = SensorConfig(
+        window_seconds=args.window,
+        origin=start,
+        min_queriers=args.min_queriers,
+        featurize_workers=args.workers,
+        **_sketch_overrides(args),
     )
+    if args.shards > 1:
+        from repro.federation import FederatedSensor
+
+        engine = FederatedSensor(
+            trainer.directory, config, n_shards=args.shards, registry=registry
+        )
+    else:
+        engine = SensorEngine(trainer.directory, config, registry=registry)
     # Reuse the span-trained classify stage.
     engine.fit_from(trainer)
 
     def report(sensed) -> None:
-        window = sensed.window
+        # SensedWindow (single engine) or FederatedWindow (--shards).
+        window = getattr(sensed, "window", sensed)
+        originators = (
+            len(window) if hasattr(window, "__len__") else window.originators
+        )
         verdicts = sorted(sensed.verdicts, key=lambda v: -v.footprint)
         print(
             f"window [{window.start:.0f}, {window.end:.0f}): "
-            f"{len(window)} originators, {len(sensed.features)} analyzable"
+            f"{originators} originators, {len(sensed.features)} analyzable"
         )
         for verdict in verdicts[: args.top]:
             print(
@@ -303,14 +407,22 @@ def _classify_stream(
             since_snapshot = 0
 
     chunk = max(1, args.chunk)
-    for offset in range(0, len(entries), chunk):
-        engine.ingest_block(entries[offset : offset + chunk])
-        sense_and_report(engine.poll())
-    sense_and_report(engine.finish())
+    try:
+        for offset in range(0, len(entries), chunk):
+            engine.ingest_block(entries[offset : offset + chunk])
+            sense_and_report(engine.poll())
+        sense_and_report(engine.finish())
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
     print()
     print(engine.format_accounting())
     _write_snapshot(args, registry)
     return 0
+
+
+#: Output formats ``repro convert`` can write, by suffix.
+CONVERT_SUFFIXES: tuple[str, ...] = (".npz", ".npy", ".rbsc", ".log", ".txt")
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -319,11 +431,25 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     from repro.datasets.dnstap import write_frames
     from repro.logstore import save_block
 
-    block = _load_log(args.log)
     out = Path(args.output)
+    suffix = out.suffix.lower()
+    if suffix not in CONVERT_SUFFIXES:
+        # A typo like ``out.np`` must not silently fall through to the
+        # text format.
+        print(
+            f"unsupported output suffix {out.suffix or out.name!r}; "
+            f"supported: {', '.join(CONVERT_SUFFIXES)}",
+            file=sys.stderr,
+        )
+        return 1
+    if out.resolve() == Path(args.log).resolve():
+        # ``.npy`` replay is a lazy mmap — writing over the input while
+        # it is still being read would corrupt the source.
+        print("output must not be the input file", file=sys.stderr)
+        return 1
+    block = _load_log(args.log)
     if out.parent and not out.parent.exists():
         out.parent.mkdir(parents=True, exist_ok=True)
-    suffix = out.suffix.lower()
     if suffix in (".npz", ".npy"):
         save_block(out, block)
     elif suffix == ".rbsc":
@@ -412,6 +538,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage engine accounting after classifying",
     )
+    classify.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="federate the run across N originator-partitioned shard "
+        "engines (results are bit-identical to a single engine)",
+    )
+    classify.add_argument(
+        "--vantage",
+        action="append",
+        metavar="NAME=LOG",
+        default=None,
+        help="additional vantage log to classify with the same trained "
+        "stage; repeatable; prints verdicts fused across vantages "
+        "(batch only)",
+    )
     add_sketch_options(classify)
     add_workers_option(classify)
     add_metrics_options(classify, streaming=True)
@@ -426,7 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         required=True,
         help="output path; .npz/.npy write columnar blocks, .rbsc framed "
-        "binary, anything else the text format",
+        "binary, .log/.txt the text format (other suffixes are an error)",
     )
     convert.set_defaults(func=_cmd_convert)
 

@@ -5,6 +5,7 @@ Layout::
     repro.datasets
     ├── specs      DatasetSpec / VantageSpec / DATASET_SPECS / spec_for
     ├── generate   GeneratedDataset / generate_dataset / get_dataset
+    │              + MultiVantageDataset / generate_multi_vantage
     ├── io         text logs + JSONL querier directories
     └── dnstap     framed binary logs (.rbsc)
 
@@ -20,7 +21,13 @@ ground truth, and world attached.
 """
 
 from repro.datasets.dnstap import read_frames_block
-from repro.datasets.generate import GeneratedDataset, generate_dataset, get_dataset
+from repro.datasets.generate import (
+    GeneratedDataset,
+    MultiVantageDataset,
+    generate_dataset,
+    generate_multi_vantage,
+    get_dataset,
+)
 from repro.datasets.io import (
     read_directory,
     read_log,
@@ -34,8 +41,10 @@ __all__ = [
     "DATASET_SPECS",
     "DatasetSpec",
     "GeneratedDataset",
+    "MultiVantageDataset",
     "VantageSpec",
     "generate_dataset",
+    "generate_multi_vantage",
     "get_dataset",
     "read_directory",
     "read_frames_block",

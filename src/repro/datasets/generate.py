@@ -27,7 +27,13 @@ from repro.groundtruth.labeling import GroundTruthSources
 from repro.netmodel.world import World, WorldConfig
 from repro.sensor.directory import WorldDirectory
 
-__all__ = ["GeneratedDataset", "generate_dataset", "get_dataset"]
+__all__ = [
+    "GeneratedDataset",
+    "MultiVantageDataset",
+    "generate_dataset",
+    "generate_multi_vantage",
+    "get_dataset",
+]
 
 SECONDS_PER_DAY = 86400.0
 
@@ -112,6 +118,68 @@ def generate_dataset(spec: DatasetSpec) -> GeneratedDataset:
         sensor=sensor,
         darknet=darknet,
         blacklists=blacklists,
+    )
+
+
+@dataclass(slots=True)
+class MultiVantageDataset:
+    """One simulation observed from several vantages at once.
+
+    The paper measures each authority separately; cross-vantage fusion
+    (:mod:`repro.federation.fusion`) instead needs the *same* originators
+    seen through *different* attenuation — a national authority below
+    most caching, a root behind nearly-complete caching.  This bundle
+    runs one world/scenario once with every vantage attached, so each
+    sensor's log is that vantage's genuinely attenuated view of the same
+    ground-truth activity.
+    """
+
+    spec: DatasetSpec
+    world: World
+    scenario: Scenario
+    hierarchy: DnsHierarchy
+    sensors: dict[str, Authority]
+    """Vantage name → its authority (and attenuated log)."""
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.spec.duration_days * SECONDS_PER_DAY
+
+    def directory(self) -> WorldDirectory:
+        """Querier metadata provider backed by this dataset's world."""
+        return WorldDirectory(self.world)
+
+    def true_classes(self) -> dict[int, str]:
+        """Originator → application class, from the simulation's own record."""
+        return {c.originator: c.app_class for c in self.scenario.campaigns}
+
+
+def generate_multi_vantage(
+    spec: DatasetSpec, vantages: list[VantageSpec]
+) -> MultiVantageDataset:
+    """Simulate one collection with every vantage attached; deterministic.
+
+    *spec* supplies the world/scenario/duration (its own ``vantage``
+    field is ignored); *vantages* are attached together before the run,
+    so a root and a ccTLD sensor log the same resolutions with their own
+    cache attenuation.
+    """
+    if not vantages:
+        raise ValueError("need at least one vantage")
+    world = World(WorldConfig(seed=spec.seed, scale=spec.world_scale))
+    scenario = build_scenario(world, spec.scenario)
+    hierarchy = DnsHierarchy(world, seed=spec.seed + 1)
+    for vantage in vantages:
+        _attach_sensor(hierarchy, world, vantage)
+    engine = SimulationEngine(world, hierarchy)
+    engine.extend(scenario.campaigns)
+    engine.run(0.0, spec.duration_days * SECONDS_PER_DAY)
+    return MultiVantageDataset(
+        spec=spec,
+        world=world,
+        scenario=scenario,
+        hierarchy=hierarchy,
+        sensors=hierarchy.sensors_by_name(),
     )
 
 

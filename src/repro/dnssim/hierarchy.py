@@ -140,6 +140,15 @@ class DnsHierarchy:
     def all_sensors(self) -> list[Authority]:
         return list(self.roots.values()) + self.nationals + [a for _, a in self.finals]
 
+    def sensors_by_name(self) -> dict[str, Authority]:
+        """Attached sensors keyed by authority name (names must be unique)."""
+        sensors: dict[str, Authority] = {}
+        for sensor in self.all_sensors():
+            if sensor.name in sensors:
+                raise ValueError(f"duplicate sensor name {sensor.name!r}")
+            sensors[sensor.name] = sensor
+        return sensors
+
     # ------------------------------------------------------------------
     # registration helpers
     # ------------------------------------------------------------------

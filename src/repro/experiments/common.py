@@ -26,6 +26,7 @@ __all__ = [
     "LabeledFeatures",
     "sensor_config",
     "featurize_workers",
+    "federation_shards",
     "sketch_overrides",
     "labeled_features",
     "windowed",
@@ -114,6 +115,18 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+def federation_shards() -> int:
+    """Shard count for federated sensing, from ``REPRO_SHARDS``.
+
+    With a value > 1 the experiment cache-builders run their batch
+    sensing through a :class:`repro.federation.FederatedSensor` instead
+    of a single engine; results are bit-identical either way, so — like
+    the other work-shaping knobs — it travels as an environment variable
+    rather than a cache key.  Unset or invalid → 1 (single engine).
+    """
+    return max(1, _env_int("REPRO_SHARDS", 1))
+
+
 def sketch_overrides() -> dict:
     """Sketch pre-stage knobs from the environment, as config overrides.
 
@@ -146,13 +159,31 @@ def labeled_features(name: str, preset: str = "default") -> LabeledFeatures:
     if key in _FEATURE_CACHE:
         return _FEATURE_CACHE[key]
     dataset = get_dataset(name, preset)
-    engine = SensorEngine(dataset.directory(), sensor_config(name, preset))
+    config = sensor_config(name, preset)
+    shards = federation_shards()
     # Replay the sensor log in columnar form: the block path is array
-    # math end to end and bit-identical to per-object ingestion.
-    sensed = engine.process(
-        dataset.sensor.log.block(), 0.0, engine.config.window_seconds, classify=False
-    )
-    features = sensed[0].features
+    # math end to end and bit-identical to per-object ingestion.  With
+    # REPRO_SHARDS > 1 the same replay runs federated (also
+    # bit-identical; see repro.federation).
+    if shards > 1:
+        from repro.federation import FederatedSensor
+
+        with FederatedSensor(
+            dataset.directory(), config, n_shards=shards
+        ) as federated:
+            sensed = federated.process(
+                dataset.sensor.log.block(),
+                0.0,
+                config.window_seconds,
+                classify=False,
+            )
+            features = sensed[0].features
+    else:
+        engine = SensorEngine(dataset.directory(), config)
+        sensed = engine.process(
+            dataset.sensor.log.block(), 0.0, config.window_seconds, classify=False
+        )
+        features = sensed[0].features
     truth = dataset.true_classes()
     keep = np.array([int(o) in truth for o in features.originators], dtype=bool)
     names = [truth[int(o)] for o in features.originators[keep]]

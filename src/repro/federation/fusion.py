@@ -1,0 +1,92 @@
+"""Cross-vantage fusion: one originator seen from several authorities.
+
+The paper measures each authority — the JP ccTLD, B-Root, M-Root —
+*separately* and observes that the same originator class shows up with
+different sensitivity at different points in the hierarchy (§ V:
+nearly-complete caching above the recursive means a root sees a given
+querier/originator pair far less often than a national authority does).
+A federated deployment can go one step further: when the same originator
+appears at multiple vantages, fuse the per-vantage verdicts into one
+judgement keyed on ``(originator, vantage)``.
+
+:func:`fuse_verdicts` implements the fusion rule used here:
+
+* the fused **class** is the footprint-weighted majority over vantages —
+  the vantage that saw more unique queriers had more evidence behind its
+  verdict (ties break lexicographically, so fusion is deterministic);
+* the fused **footprint** is the max over vantages, a lower bound on the
+  size of the union of querier populations (vantage populations overlap
+  arbitrarily, so summing would overcount).
+
+Input verdicts come from any classify-capable run: a
+:class:`~repro.federation.driver.FederatedSensor` window, a single
+``SensorEngine`` window, or the CLI's ``--vantage`` batch runs over
+:func:`~repro.datasets.generate.generate_multi_vantage` logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.sensor.engine import ClassifiedOriginator
+
+__all__ = ["FusedOriginator", "fuse_verdicts"]
+
+
+@dataclass(frozen=True, slots=True)
+class FusedOriginator:
+    """One originator's fused judgement across every vantage that saw it."""
+
+    originator: int
+    app_class: str
+    """Footprint-weighted majority class (lexicographic tie-break)."""
+    footprint: int
+    """Max per-vantage footprint: a lower bound on the union population."""
+    vantages: tuple[str, ...]
+    """Vantage names that classified this originator, sorted."""
+    verdicts: Mapping[str, str]
+    """Per-vantage class, keyed by vantage name."""
+    footprints: Mapping[str, int]
+    """Per-vantage unique-querier footprint, keyed by vantage name."""
+
+    @property
+    def agreement(self) -> bool:
+        """True when every vantage assigned the same class."""
+        return len(set(self.verdicts.values())) == 1
+
+
+def fuse_verdicts(
+    per_vantage: Mapping[str, Iterable[ClassifiedOriginator]],
+) -> list[FusedOriginator]:
+    """Fuse per-vantage classify verdicts on ``(originator, vantage)``.
+
+    *per_vantage* maps vantage name → that vantage's verdicts for one
+    observation interval.  Returns one :class:`FusedOriginator` per
+    distinct originator, sorted by descending fused footprint then
+    ascending originator — the same ordering the CLI report uses.
+    """
+    by_originator: dict[int, dict[str, ClassifiedOriginator]] = {}
+    for vantage, verdicts in per_vantage.items():
+        for verdict in verdicts:
+            by_originator.setdefault(verdict.originator, {})[vantage] = verdict
+    fused = []
+    for originator, seen in by_originator.items():
+        weights: dict[str, int] = {}
+        for verdict in seen.values():
+            weights[verdict.app_class] = (
+                weights.get(verdict.app_class, 0) + max(1, verdict.footprint)
+            )
+        app_class = min(weights, key=lambda name: (-weights[name], name))
+        fused.append(
+            FusedOriginator(
+                originator=originator,
+                app_class=app_class,
+                footprint=max(v.footprint for v in seen.values()),
+                vantages=tuple(sorted(seen)),
+                verdicts={name: v.app_class for name, v in sorted(seen.items())},
+                footprints={name: v.footprint for name, v in sorted(seen.items())},
+            )
+        )
+    fused.sort(key=lambda f: (-f.footprint, f.originator))
+    return fused

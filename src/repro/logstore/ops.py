@@ -90,7 +90,10 @@ def dedup_mask(
         scope, or ``None`` for a self-contained chunk.  When a dict is
         given (even empty), the second return value holds the updated
         last-kept timestamp for every pair that kept at least one query
-        in this chunk — merge it into the caller's state with
+        in this chunk *and* can still suppress a later entry (pairs
+        whose last keep is already a full window behind the chunk's
+        final timestamp are inert and omitted, keeping caller state
+        bounded by live pairs) — merge it into the caller's state with
         ``state.update(updates)``.
 
     Returns
@@ -194,7 +197,15 @@ def dedup_mask(
             # A stretch never spans groups (run starts are certain), so
             # the min() clamp is defensive only.
 
-    # Carry-state delta: last kept timestamp per pair with >= 1 keep.
+    # Carry-state delta: last kept timestamp per pair with >= 1 keep —
+    # but only pairs still *live* past this chunk.  Any future entry of
+    # the same dedup scope has timestamp >= this chunk's maximum (the
+    # stream is time-ordered), so a pair whose last keep is already a
+    # full window behind the chunk end can never suppress again; merging
+    # it into the caller's state would retain one float per distinct
+    # pair forever.  Liveness uses the scalar keep predicate's exact
+    # float expression (t - last < window), so dropping an inert pair
+    # cannot change any future mask bit.
     if carry is not None:
         kept_pos = np.flatnonzero(keep)
         if kept_pos.size:
@@ -204,6 +215,7 @@ def dedup_mask(
             if g.size > 1:
                 last_mask[:-1] = g[1:] != g[:-1]
             last_pos = kept_pos[last_mask]
+            t_max = float(timestamps[n - 1])
             updates = {
                 (q, o): t
                 for q, o, t in zip(
@@ -211,6 +223,7 @@ def dedup_mask(
                     oq[last_pos].tolist(),
                     tq[last_pos].tolist(),
                 )
+                if t_max - t < window
             }
 
     mask = np.empty(n, dtype=bool)

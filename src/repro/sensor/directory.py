@@ -331,6 +331,15 @@ class EnrichmentCache:
             ccs,
         )
 
+    def country_names(self, codes: np.ndarray | Sequence[int]) -> list[str]:
+        """Country names for interned codes (callers filter ``>= 0``).
+
+        Codes are cache-internal (each cache interns independently), so
+        cross-cache aggregation — e.g. the federation driver unioning
+        per-shard distinct-country sets — must go through the names.
+        """
+        return [self._countries[int(code)] for code in codes]
+
     def missing(self, addrs: np.ndarray) -> np.ndarray:
         """Sorted distinct addresses from *addrs* not yet cached."""
         self._consolidate()

@@ -59,6 +59,7 @@ from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
 from repro.sensor.collection import DEDUP_WINDOW_SECONDS, ObservationWindow
 from repro.sensor.curation import LabeledSet
 from repro.sensor.directory import QuerierDirectory
+from repro.sensor.dynamic import WindowContext
 from repro.sensor.features import FeatureSet, features_from_selected
 from repro.sensor.selection import ANALYZABLE_THRESHOLD, analyzable
 from repro.sensor.streaming import StreamingCollector, StreamingStats
@@ -860,7 +861,9 @@ class SensorEngine:
 
     # -- select + featurize ---------------------------------------------
 
-    def featurize(self, window: ObservationWindow) -> FeatureSet:
+    def featurize(
+        self, window: ObservationWindow, context: WindowContext | None = None
+    ) -> FeatureSet:
         """Select analyzable originators and extract their features.
 
         Runs serial (vectorized + window-scoped enrichment cache) by
@@ -868,6 +871,10 @@ class SensorEngine:
         over a process pool, bit-identical to serial.  Observations whose
         queriers all deduplicated away are skipped and accounted as
         featurize-stage drops rather than raising out of :meth:`poll`.
+
+        An explicit *context* overrides the window-derived normalizers —
+        the federated path passes the merged window's context so shard
+        rows match a single engine's bit for bit.
         """
         if self.directory is None:
             raise RuntimeError("engine has no querier directory to featurize with")
@@ -898,6 +905,7 @@ class SensorEngine:
                 features = features_from_selected(
                     window, selected, self.directory,
                     workers=self.config.featurize_workers,
+                    context=context,
                 )
             self._record_stage(
                 "featurize",

@@ -417,6 +417,7 @@ def features_from_selected(
     selected: list[OriginatorObservation],
     directory: QuerierDirectory,
     workers: int = 1,
+    context: WindowContext | None = None,
 ) -> FeatureSet:
     """Feature vectors for an already-selected set of originators.
 
@@ -424,6 +425,14 @@ def features_from_selected(
     window; *selected* only controls which rows are materialized.  This
     is the featurize stage of :class:`repro.sensor.engine.SensorEngine`,
     which performs selection separately so it can account for drops.
+
+    An explicit *context* overrides the window-derived one.  Federated
+    shards use this: each shard holds only its partition of a window,
+    but every row must normalize by the *merged* window's totals, which
+    the federation driver computes and broadcasts (see
+    :mod:`repro.federation`).  Because each row depends only on its own
+    observation plus the context, rows computed under the merged context
+    are bit-identical to a single engine's.
 
     Observations without any queriers (possible when every query
     deduplicated away or a serialized observation is degenerate) are
@@ -443,7 +452,8 @@ def features_from_selected(
     if parallel:
         with _tspan("featurize.enrich"):
             _prime_parallel(cache, window, workers)
-    context = WindowContext.from_window(window, cache)
+    if context is None:
+        context = WindowContext.from_window(window, cache)
     originators = np.array([o.originator for o in kept], dtype=np.int64)
     footprints = np.array([o.footprint for o in kept], dtype=np.int64)
     with _tspan("featurize.matrix") as sp:

@@ -138,6 +138,11 @@ class StreamingCollector:
         # on this determinism matching the per-entry path exactly.
         self._pending: list[tuple[float, int, int, int]] = []
         self._seq = 0
+        # Ingest count at the last dedup prune.  The prune cadence is a
+        # high-water threshold on this delta (not a modulo on the total):
+        # block ingest advances ``stats.ingested`` by chunk-sized jumps,
+        # which can skip any particular modulo value indefinitely.
+        self._pruned_at_ingested = 0
         # Dedup state for the window currently being filled (processing
         # is time-ordered, so only one window accumulates at a time).
         self._dedup_index: int | None = None
@@ -293,6 +298,20 @@ class StreamingCollector:
         self._emit_ready(watermark)
         self._prune_dedup(watermark)
 
+    def advance_watermark(self, timestamp: float) -> None:
+        """Advance the watermark to *timestamp* without ingesting anything.
+
+        Lets an external coordinator (e.g. the federation driver, which
+        owns the global reorder front) close windows a global watermark
+        has passed even when this collector's own feed went quiet.  The
+        high water only moves forward; subsequent entries below the new
+        watermark are late, exactly as if an event at *timestamp* had
+        been ingested.
+        """
+        if timestamp > self._high_water:
+            self._high_water = timestamp
+        self._release(self._high_water - self.reorder_slack)
+
     # ------------------------------------------------------------------
 
     def _release(self, watermark: float) -> None:
@@ -303,8 +322,12 @@ class StreamingCollector:
         self._emit_ready(watermark)
         # Periodically prune dedup state too old to suppress anything:
         # every future processed entry has timestamp >= watermark, so a
-        # pair last kept before (watermark - dedup_window) is inert.
-        if self.stats.ingested % 1024 == 0:
+        # pair whose last kept query is a full dedup window behind the
+        # watermark is inert.  The cadence is a high-water threshold —
+        # "at least 1024 ingested since the last prune" — which fires
+        # regardless of step size, unlike a modulo that chunk-sized
+        # ``ingested`` jumps can hop over forever.
+        if self.stats.ingested - self._pruned_at_ingested >= 1024:
             self._prune_dedup(watermark)
 
     def _emit_ready(self, watermark: float) -> None:
@@ -317,10 +340,19 @@ class StreamingCollector:
                 break
 
     def _prune_dedup(self, watermark: float) -> None:
+        self._pruned_at_ingested = self.stats.ingested
         if self._last_kept:
-            horizon = watermark - self.dedup_window
+            # Keep a pair only while it can still suppress: the smallest
+            # timestamp any future processed entry can have is the
+            # watermark, so the pair is live iff ``watermark - ts <
+            # window`` — the scalar keep predicate's exact float
+            # expression (subtraction, not a precomputed horizon, which
+            # rounds differently near the boundary).
+            window = self.dedup_window
             self._last_kept = {
-                key: ts for key, ts in self._last_kept.items() if ts >= horizon
+                key: ts
+                for key, ts in self._last_kept.items()
+                if watermark - ts < window
             }
 
     def _enter_window(self, index: int) -> None:

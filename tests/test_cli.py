@@ -147,6 +147,23 @@ class TestConvert:
         assert len(converted) == len(original)
         assert abs(converted.timestamps - original.timestamps).max() < 1e-2
 
+    def test_unknown_output_suffix_is_an_error(self, generated, tmp_path, capsys):
+        # Regression: ``out.np`` (a typo for .npy) used to fall through
+        # to the text-format branch and silently write a .log.
+        source = generated / "B-post-ditl.rbsc"
+        bad = tmp_path / "out.np"
+        assert main(["convert", str(source), "-o", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "unsupported output suffix" in err and "'.np'" in err
+        assert not bad.exists()
+
+    def test_output_equal_to_input_is_refused(self, generated, tmp_path, capsys):
+        source = tmp_path / "log.npy"
+        assert main(["convert", str(generated / "B-post-ditl.rbsc"), "-o", str(source)]) == 0
+        capsys.readouterr()
+        assert main(["convert", str(source), "-o", str(source)]) == 1
+        assert "must not be the input" in capsys.readouterr().err
+
 
 class TestFigures:
     def test_experiments_passthrough_list(self, capsys):

@@ -228,6 +228,35 @@ class TestDedupMaskProperties:
             carry.update(updates)
         assert kept == expected
 
+    @given(entry_rows, windows, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=200, deadline=None)
+    def test_pruned_carry_matches_whole(self, rows, window, chunk):
+        # Regression for the carry-dict leak: ``updates`` only reports
+        # pairs still inside the horizon, so a caller may prune stale
+        # pairs between chunks without changing a single verdict.  Before
+        # the fix, ``updates`` echoed every pair in the chunk and the
+        # carry grew with stream length instead of horizon occupancy.
+        rows.sort(key=lambda r: r[0])
+        entries = make_entries(rows)
+        expected = dedup_entries(entries, window)
+        block = EntryBlock.from_entries(entries)
+        carry: dict[tuple[int, int], float] = {}
+        kept: list[QueryLogEntry] = []
+        for sub in block.iter_chunks(chunk):
+            mask, updates = dedup_mask(
+                sub.timestamps, sub.queriers, sub.originators, window, carry=carry
+            )
+            kept.extend(mask_to_entries(sub.to_entries(), mask))
+            carry.update(updates)
+            t_end = float(sub.timestamps[-1])
+            # Every reported update must already be horizon-live...
+            assert all(t_end - t < window for t in updates.values())
+            # ...and pruning the carry on the same predicate is safe.
+            carry = {
+                pair: t for pair, t in carry.items() if t_end - t < window
+            }
+        assert kept == expected
+
     def test_float_horizon_uses_subtraction_predicate(self):
         # 2.3 - 1.3 = 0.9999999999999998 < 1.0, so the repeat is dropped;
         # a searchsorted on (1.3 + 1.0 == 2.3) would wrongly keep it.

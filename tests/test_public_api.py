@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.federation
 import repro.logstore
 import repro.sensor
 import repro.sketch
@@ -27,6 +28,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 CURATED = {
     "repro": repro,
+    "repro.federation": repro.federation,
     "repro.logstore": repro.logstore,
     "repro.sensor": repro.sensor,
     "repro.sketch": repro.sketch,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -102,6 +103,61 @@ class TestDedupAndLateness:
         for i in range(5000):
             collector.ingest(entry(float(i), querier=i, originator=i))
         assert collector.dedup_state_size < 5000
+
+    def test_dedup_state_bounded_on_block_fed_long_stream(self):
+        # Regression: on the block-fed (ingest_arrays) path inside one
+        # long observation window, ``_last_kept`` must stay bounded by
+        # the pairs still inside the 30 s dedup horizon — not grow with
+        # every distinct pair the stream ever carried.
+        dedup = 30.0
+        collector = StreamingCollector(
+            window_seconds=3000.0, reorder_slack=0.0, dedup_window=dedup
+        )
+        chunk = 200
+        rate = 10.0  # events per second, all distinct pairs
+        high_water_state = 0
+        for c in range(100):  # 20,000 events over 2,000 s, one window
+            base = c * chunk
+            ts = base / rate + np.arange(chunk) / rate
+            qs = np.arange(base, base + chunk, dtype=np.int64)
+            os_ = np.full(chunk, 7, dtype=np.int64)
+            collector.ingest_arrays(ts, qs, os_)
+            high_water_state = max(high_water_state, collector.dedup_state_size)
+        # Live bound: ``rate * dedup`` pairs can still suppress, plus at
+        # most one prune cadence (1024 ingested) of unpruned growth.
+        assert high_water_state <= int(rate * dedup) + 1024 + chunk
+        assert collector.dedup_state_size <= int(rate * dedup) + 1024 + chunk
+
+    def test_dedup_state_bounded_across_ten_windows(self):
+        # Ten observation windows, block-fed; window entry resets dedup
+        # scope, and within each window the prune keeps only live pairs.
+        dedup = 30.0
+        collector = StreamingCollector(
+            window_seconds=100.0, reorder_slack=0.0, dedup_window=dedup
+        )
+        chunk = 250
+        rate = 10.0
+        for c in range(40):  # 10,000 events over 1,000 s = 10 windows
+            base = c * chunk
+            ts = base / rate + np.arange(chunk) / rate
+            qs = np.arange(base, base + chunk, dtype=np.int64)
+            os_ = np.full(chunk, 7, dtype=np.int64)
+            collector.ingest_arrays(ts, qs, os_)
+            assert collector.dedup_state_size <= int(rate * dedup) + 1024 + chunk
+        assert len(collector.flush()) == 10
+
+    def test_advance_watermark_closes_windows_without_input(self):
+        collector = StreamingCollector(window_seconds=100.0, reorder_slack=0.0)
+        collector.ingest(entry(10.0))
+        assert collector.completed_windows() == []
+        collector.advance_watermark(250.0)
+        done = collector.completed_windows()
+        assert len(done) == 1
+        assert (done[0].start, done[0].end) == (0.0, 100.0)
+        # The high water only moves forward; an entry below it is late.
+        collector.advance_watermark(50.0)
+        collector.ingest(entry(60.0))
+        assert collector.stats.late_dropped == 1
 
 
 class TestBatchEquivalence:
