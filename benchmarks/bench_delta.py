@@ -1,0 +1,104 @@
+"""Print per-mode events/s deltas against the committed bench baselines.
+
+For each ``BENCH_*.json`` given, loads the freshly-written report from
+disk and the committed baseline from git (``git show <ref>:<path>``),
+walks both for every ``events_per_s`` leaf, and prints a one-line delta
+per mode — so the CI bench log shows throughput regressions (or wins)
+at a glance, without anyone diffing JSON by hand::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py BENCH_ingest.json BENCH_sketch.json
+
+Missing baselines (new file, new mode) and missing fresh modes are
+reported, not fatal: the table is advisory; the hard gates live in the
+benchmarks' own ``--assert-*`` flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def metric_leaves(node, prefix: str = "") -> dict[str, float]:
+    """Every ``<dotted.path>.events_per_s`` leaf of a report."""
+    leaves: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key == "events_per_s" and isinstance(value, (int, float)):
+                leaves[prefix or key] = float(value)
+            else:
+                leaves.update(metric_leaves(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            leaves.update(metric_leaves(value, f"{prefix}[{i}]"))
+    return leaves
+
+
+def committed_baseline(path: str, ref: str) -> dict | None:
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{path}"],
+            capture_output=True,
+            check=True,
+            text=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def delta_lines(name: str, fresh: dict, baseline: dict | None) -> list[str]:
+    lines: list[str] = []
+    fresh_leaves = metric_leaves(fresh)
+    base_leaves = metric_leaves(baseline) if baseline is not None else {}
+    for path in sorted(set(fresh_leaves) | set(base_leaves)):
+        now = fresh_leaves.get(path)
+        before = base_leaves.get(path)
+        label = f"{name}:{path}"
+        if now is None:
+            lines.append(f"  {label:<45} {before:>12,.0f} -> (gone)")
+        elif before is None or before == 0:
+            lines.append(f"  {label:<45} (new) -> {now:>12,.0f} ev/s")
+        else:
+            change = 100.0 * (now - before) / before
+            lines.append(
+                f"  {label:<45} {before:>12,.0f} -> {now:>12,.0f} ev/s "
+                f"({change:+7.1f}%)"
+            )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs="+", help="fresh BENCH_*.json paths")
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the committed baselines (default HEAD)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"events/s deltas vs committed baselines ({args.baseline_ref}):")
+    for report_path in args.reports:
+        path = Path(report_path)
+        if not path.is_file():
+            print(f"  {report_path}: fresh report missing, skipped", file=sys.stderr)
+            continue
+        fresh = json.loads(path.read_text())
+        baseline = committed_baseline(report_path, args.baseline_ref)
+        if baseline is None:
+            print(f"  {report_path}: no committed baseline at {args.baseline_ref}")
+        for line in delta_lines(path.stem.replace("BENCH_", ""), fresh, baseline):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

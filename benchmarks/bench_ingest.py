@@ -22,8 +22,11 @@ verdict.  Run from the repo root::
 
 ``--quick`` shrinks the workload so CI can smoke-test the harness in
 seconds; ``--assert-block-faster`` fails the run unless the block path
-meets the object path's throughput (batch and streaming, exact mode),
-and any object/block divergence fails the run unconditionally.
+meets the object path's throughput (batch and streaming, exact mode);
+``--assert-stream-sketch`` gates the vectorized streaming-sketch path
+(>= 0.5x the plain stream block throughput and >= 4x the pre-
+vectorization scalar baseline); any object/block divergence fails the
+run unconditionally.
 """
 
 from __future__ import annotations
@@ -44,6 +47,12 @@ from repro.sensor.engine import SensorConfig, SensorEngine
 WINDOW_SECONDS = 21_600.0
 N_WINDOWS = 4
 SPAN = WINDOW_SECONDS * N_WINDOWS
+
+#: Committed stream_sketch throughput (events/s) from the last
+#: BENCH_ingest.json produced *before* the pre-stage grew its
+#: array-native verdict path — the scalar per-event fallback on the
+#: single-CPU CI host.  ``--assert-stream-sketch`` gates against 4x this.
+SCALAR_STREAM_SKETCH_BASELINE = 23_327.8
 
 
 def synthetic_log(
@@ -167,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
         "throughput (batch and streaming, exact mode)",
     )
     parser.add_argument(
+        "--assert-stream-sketch",
+        action="store_true",
+        help="fail unless the vectorized stream_sketch block path reaches "
+        ">=0.5x the plain stream block throughput and >=4x the "
+        "pre-vectorization scalar baseline",
+    )
+    parser.add_argument(
         "-o", "--output", default="BENCH_ingest.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
@@ -262,6 +278,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"{mode}: block path is slower than the object path "
                     f"(speedup {report[mode]['speedup']:.3f}x)"
                 )
+    if args.assert_stream_sketch:
+        sketched = report["stream_sketch"]["block"]["events_per_s"]
+        plain = report["stream"]["block"]["events_per_s"]
+        if sketched < 0.5 * plain:
+            failures.append(
+                "stream_sketch: block path below half the plain stream "
+                f"throughput ({sketched:,.0f} vs {plain:,.0f} events/s)"
+            )
+        if sketched < 4.0 * SCALAR_STREAM_SKETCH_BASELINE:
+            failures.append(
+                "stream_sketch: block path below 4x the pre-vectorization "
+                f"scalar baseline ({sketched:,.0f} vs "
+                f"{SCALAR_STREAM_SKETCH_BASELINE:,.0f} events/s)"
+            )
     for failure in failures:
         print(failure, file=sys.stderr)
     return 1 if failures else 0

@@ -15,8 +15,11 @@ analyzability gate exists for), runs the window + select stages of
 Each mode reports events/s (best of ``--rounds`` timed runs) and peak
 incremental memory from a separate ``tracemalloc`` run, plus the gate
 agreement between the two paths (selected sets, false drops).  A width
-frontier re-runs the sketch mode across count-min widths.  Run from the
-repo root::
+frontier re-runs the sketch mode across count-min widths, and a
+streaming section times the same log through the single-pass chunked
+block path (exact vs sketch — the pre-stage's array-native
+``observe_arrays`` verdict core) with the promotion resolver's
+wholesale/replayed split.  Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_sketch.py --quick
 
@@ -37,6 +40,7 @@ import tracemalloc
 from pathlib import Path
 
 from repro.dnssim.message import QueryLogEntry
+from repro.logstore import EntryBlock
 from repro.sensor.engine import SensorConfig, SensorEngine
 from repro.sensor.selection import analyzable
 
@@ -93,12 +97,33 @@ def run_mode(config: SensorConfig, entries: list[QueryLogEntry]):
     return window, analyzable(window, config.min_queriers)
 
 
+def run_streaming(config: SensorConfig, block: EntryBlock, chunk: int):
+    """Single-pass chunked block ingest; returns the sensed windows."""
+    engine = SensorEngine(config=config)
+    windows = []
+    for offset in range(0, len(block), chunk):
+        engine.ingest_block(block[offset : offset + chunk])
+        windows.extend(engine.poll(classify=False))
+    windows.extend(engine.finish(classify=False))
+    return windows
+
+
 def timed(rounds: int, config: SensorConfig, entries: list[QueryLogEntry]):
     best = float("inf")
     result = None
     for _ in range(rounds):
         t0 = time.perf_counter()
         result = run_mode(config, entries)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def timed_streaming(rounds: int, config: SensorConfig, block: EntryBlock, chunk: int):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_streaming(config, block, chunk)
         best = min(best, time.perf_counter() - t0)
     return best, result
 
@@ -241,6 +266,46 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
     report["width_frontier"] = frontier
+
+    # Streaming single-pass comparison: the same log chunk-fed through
+    # the block ingest path, exact dedup vs the pre-stage's vectorized
+    # verdict core (observe_arrays + two-tier promotion resolver).
+    block = EntryBlock.from_entries(entries)
+    chunk = 5000
+    stream_exact_seconds, _ = timed_streaming(args.rounds, exact_config, block, chunk)
+    stream_sketch_seconds, stream_windows = timed_streaming(
+        args.rounds, sketch_config, block, chunk
+    )
+    wholesale = sum(
+        s.window.prestage.resolver_wholesale
+        for s in stream_windows
+        if s.window.prestage is not None
+    )
+    replayed = sum(
+        s.window.prestage.resolver_replayed
+        for s in stream_windows
+        if s.window.prestage is not None
+    )
+    report["streaming"] = {
+        "chunk": chunk,
+        "exact": {
+            "seconds": round(stream_exact_seconds, 6),
+            "events_per_s": round(len(entries) / stream_exact_seconds, 1),
+        },
+        "sketch": {
+            "seconds": round(stream_sketch_seconds, 6),
+            "events_per_s": round(len(entries) / stream_sketch_seconds, 1),
+            "resolver_wholesale": wholesale,
+            "resolver_replayed": replayed,
+        },
+        "sketch_vs_exact": round(stream_exact_seconds / stream_sketch_seconds, 3),
+    }
+    print(
+        f"  stream exact {len(entries) / stream_exact_seconds:>11,.0f} ev/s   "
+        f"sketch {len(entries) / stream_sketch_seconds:>11,.0f} ev/s   "
+        f"(resolver: {wholesale:,} wholesale / {replayed:,} replayed)",
+        flush=True,
+    )
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -185,6 +185,8 @@ class ShardWorker:
                 "events_unique": prestage.events_unique,
                 "events_duplicate": prestage.events_duplicate,
                 "events_deferred": prestage.events_deferred,
+                "resolver_wholesale": prestage.resolver_wholesale,
+                "resolver_replayed": prestage.resolver_replayed,
             }
         return ShardRows(
             shard=self.shard_id,

@@ -358,6 +358,12 @@ class SensorEngine:
               help=help_events, result="duplicate")
         count("repro_sketch_events_total", prestage.events_deferred,
               help=help_events, result="deferred")
+        help_resolver = ("Streaming promotion-resolver outcomes per "
+                         "(originator, chunk), vectorized path only.")
+        count("repro_sketch_resolver_originators_total", prestage.resolver_wholesale,
+              help=help_resolver, outcome="wholesale")
+        count("repro_sketch_resolver_originators_total", prestage.resolver_replayed,
+              help=help_resolver, outcome="replayed")
         for structure, nbytes in prestage.memory_bytes().items():
             set_gauge("repro_sketch_memory_bytes", nbytes,
                       help="Bytes held by each pre-stage structure.",
@@ -1044,6 +1050,8 @@ class SensorEngine:
                     "events_unique": prestage.events_unique,
                     "events_duplicate": prestage.events_duplicate,
                     "events_deferred": prestage.events_deferred,
+                    "resolver_wholesale": prestage.resolver_wholesale,
+                    "resolver_replayed": prestage.resolver_replayed,
                     "memory_bytes": prestage.memory_bytes(),
                 }
             if get_registry() is not None:

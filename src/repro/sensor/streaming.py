@@ -394,8 +394,10 @@ class StreamingCollector:
         dedup scope per window exactly like the scalar path, and runs
         the vectorized dedup with ``_last_kept`` as carry state so a
         window fed across many chunks dedups identically to one pass.
-        Sketch mode's promote logic is inherently sequential, so it
-        falls back to the scalar per-entry core.
+        Sketch mode routes each window segment through the pre-stage's
+        array-native :meth:`~repro.sketch.prestage.SketchPreStage.observe_arrays`
+        (vectorized dedup + two-tier promotion resolver), whose verdict
+        sequence is pinned identical to the scalar per-entry core.
         """
         if ts.size == 0:
             return
@@ -410,10 +412,9 @@ class StreamingCollector:
             if index != self._dedup_index:
                 self._enter_window(index)
             if self._prestage is not None:
-                for t, q, o in zip(
-                    ts[lo:hi].tolist(), qs[lo:hi].tolist(), os_[lo:hi].tolist()
-                ):
-                    self._process_sketched(t, q, o, index)
+                self._process_sketched_arrays(
+                    ts[lo:hi], qs[lo:hi], os_[lo:hi], index
+                )
                 continue
             w_ts = ts[lo:hi]
             w_qs = qs[lo:hi]
@@ -454,6 +455,34 @@ class StreamingCollector:
             observation = OriginatorObservation(originator=originator)
             window.observations[originator] = observation
         observation.add(timestamp, querier)
+
+    def _process_sketched_arrays(
+        self, ts: np.ndarray, qs: np.ndarray, os_: np.ndarray, index: int
+    ) -> None:
+        """Sketch mode, columnar: one window segment through the
+        pre-stage's array-native verdict path.
+
+        Produces the exact per-entry verdict sequence (pinned by the
+        scalar-vs-vectorized property suite): DUPLICATEs accrue to
+        ``stats.deduplicated`` per chunk, any non-duplicate opens the
+        window and attaches the pre-stage (the first processed event of
+        a fresh window can never be a duplicate — its Bloom filter is
+        empty — so window-creation timing matches the scalar path), and
+        KEEP events materialize in first-promotion order via
+        :func:`~repro.sensor.collection.extend_window_arrays`.
+        """
+        from repro.sketch.prestage import DUPLICATE_CODE
+
+        codes, kept = self._prestage.observe_arrays(ts, qs, os_)
+        duplicates = int(np.count_nonzero(codes == DUPLICATE_CODE))
+        self.stats.deduplicated += duplicates
+        if duplicates == ts.size:
+            return
+        window = self._window_for(index)
+        if window.prestage is None:
+            window.prestage = self._prestage
+        if kept.size:
+            extend_window_arrays(window, ts[kept], qs[kept], os_[kept])
 
     def _emit(self, window: ObservationWindow) -> None:
         if window.prestage is not None and window.querier_roster is None:

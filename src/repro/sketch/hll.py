@@ -258,12 +258,135 @@ class HllBank:
         flat = slots * np.intp(self._registers.shape[1]) + index
         np.maximum.at(self._registers.reshape(-1), flat, rank)
 
+    def ensure_keys(self, keys: np.ndarray) -> None:
+        """Create (empty) rows for *keys* in the given order.
+
+        Callers that split one event chunk into several per-group
+        :meth:`add_batch` passes use this to pin bank insertion order to
+        first-occurrence order up front, so survivor/merge iteration
+        order stays identical to feeding the events one by one.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        self.resolve_slots(keys, create_order=np.arange(keys.size, dtype=np.intp))
+
+    def resolve_slots(
+        self, keys: np.ndarray, create_order: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Slot per (unique) key, ``-1`` for unseen — one dict sweep.
+
+        With *create_order* (index positions into *keys*), missing keys
+        are created in exactly that order, pinning bank insertion order.
+        The returned slots let hot paths address registers directly
+        (:meth:`add_at_slots`, :meth:`estimate_slots`, :meth:`rows_at`)
+        instead of paying a key lookup per call.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        get = self._slots.get
+        slots = np.fromiter(
+            (get(int(key), -1) for key in keys), dtype=np.intp, count=keys.size
+        )
+        if create_order is not None:
+            missing = create_order[slots[create_order] < 0]
+            for i in missing.tolist():
+                slots[i] = self._slot(int(keys[i]))
+        return slots
+
+    def add_at_slots(self, slots: np.ndarray, items: np.ndarray) -> None:
+        """Vectorized :meth:`add` for events with pre-resolved bank rows."""
+        items = np.asarray(items)
+        if items.size == 0:
+            return
+        index, rank = _points(items, self._item_seed(), self.precision)
+        flat = (
+            np.asarray(slots, dtype=np.intp) * np.intp(self._registers.shape[1])
+            + index
+        )
+        np.maximum.at(self._registers.reshape(-1), flat, rank)
+
+    def estimate_slots(
+        self, slots: np.ndarray, with_zeros: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Estimates for pre-resolved (valid) *slots*; see :meth:`estimate_many`."""
+        slots = np.asarray(slots, dtype=np.intp)
+        n = int(slots.size)
+        estimates = np.zeros(n, dtype=np.float64)
+        zeros = np.full(n, 1 << self.precision, dtype=np.int64)
+        for start in range(0, n, self._CHUNK_ROWS):
+            sel = slice(start, min(start + self._CHUNK_ROWS, n))
+            rows = self._registers[slots[sel]]
+            estimates[sel] = _estimate_rows(rows)
+            if with_zeros:
+                zeros[sel] = (rows == 0).sum(axis=1)
+        if with_zeros:
+            return estimates, zeros
+        return estimates
+
+    def rows_at(self, slots: np.ndarray) -> np.ndarray:
+        """Copy of the register rows at *slots* (pair with :meth:`write_rows_at`)."""
+        return self._registers[np.asarray(slots, dtype=np.intp)]
+
+    def write_rows_at(self, slots: np.ndarray, rows: np.ndarray) -> None:
+        """Write *rows* (from :meth:`rows_at`) back over *slots*."""
+        self._registers[np.asarray(slots, dtype=np.intp)] = rows
+
     def estimate(self, key: int) -> float:
         """Estimated distinct items under *key* (0.0 for unseen keys)."""
         slot = self._slots.get(key)
         if slot is None:
             return 0.0
         return float(_estimate_rows(self._registers[slot][np.newaxis, :])[0])
+
+    def estimate_many(
+        self, keys: np.ndarray, with_zeros: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Estimates aligned with *keys* — the batched subset twin of
+        :meth:`estimate` (unseen keys estimate 0.0 with all ``m``
+        registers zero).
+
+        Chunked like :meth:`estimate_all` so the float64 temporaries
+        stay bounded.  With ``with_zeros`` the per-key zero-register
+        counts come back too — the streaming promotion resolver needs
+        them to bound the linear-counting branch over a whole chunk.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = int(keys.size)
+        estimates = np.zeros(n, dtype=np.float64)
+        zeros = np.full(n, 1 << self.precision, dtype=np.int64)
+        if n:
+            slots = self.resolve_slots(keys)
+            seen = np.flatnonzero(slots >= 0)
+            if seen.size:
+                if with_zeros:
+                    est, zero = self.estimate_slots(slots[seen], with_zeros=True)
+                    estimates[seen] = est
+                    zeros[seen] = zero
+                else:
+                    estimates[seen] = self.estimate_slots(slots[seen])
+        if with_zeros:
+            return estimates, zeros
+        return estimates
+
+    def snapshot_rows(self, keys: np.ndarray) -> np.ndarray:
+        """Copy of the register rows for *keys* (which must all exist).
+
+        Paired with :meth:`restore_rows`: the streaming promotion
+        resolver snapshots possible bar-crossers before a chunked
+        :meth:`add_batch`, then rewinds exactly those rows for an
+        event-by-event replay.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        slots = np.fromiter(
+            (self._slots[int(key)] for key in keys), dtype=np.intp, count=keys.size
+        )
+        return self._registers[slots]
+
+    def restore_rows(self, keys: np.ndarray, rows: np.ndarray) -> None:
+        """Write *rows* (from :meth:`snapshot_rows`) back over *keys*."""
+        keys = np.asarray(keys, dtype=np.int64)
+        slots = np.fromiter(
+            (self._slots[int(key)] for key in keys), dtype=np.intp, count=keys.size
+        )
+        self._registers[slots] = rows
 
     def estimate_all(self) -> tuple[np.ndarray, np.ndarray]:
         """``(keys, estimates)`` for every key, in insertion order.

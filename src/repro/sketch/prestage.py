@@ -50,12 +50,30 @@ from repro.sketch.cms import CountMinSketch
 from repro.sketch.hashing import MASK64, derive_seed, mix64, mix64_array
 from repro.sketch.hll import HllBank
 
-__all__ = ["SketchParams", "SketchPreStage", "KEEP", "DEFER", "DUPLICATE"]
+__all__ = [
+    "SketchParams",
+    "SketchPreStage",
+    "KEEP",
+    "DEFER",
+    "DUPLICATE",
+    "KEEP_CODE",
+    "DEFER_CODE",
+    "DUPLICATE_CODE",
+    "VERDICT_NAMES",
+]
 
 #: :meth:`SketchPreStage.observe` verdicts.
 KEEP = "keep"          #: materialize this event exactly (originator promoted)
 DEFER = "defer"        #: summarized only; originator not yet promoted
 DUPLICATE = "duplicate"  #: suppressed by the 30 s dedup filter
+
+#: Integer verdicts used by the array-native :meth:`SketchPreStage.observe_arrays`
+#: (one ``uint8`` per event); ``VERDICT_NAMES[code]`` maps a code back to
+#: the string verdict :meth:`~SketchPreStage.observe` would have returned.
+KEEP_CODE = 0
+DEFER_CODE = 1
+DUPLICATE_CODE = 2
+VERDICT_NAMES = (KEEP, DEFER, DUPLICATE)
 
 #: PTR RR type — the only qtype the sensor retains — folded into the
 #: dedup key as a constant so the key shape matches the paper's
@@ -201,8 +219,11 @@ class SketchPreStage:
         "events_unique",
         "events_duplicate",
         "events_deferred",
+        "resolver_wholesale",
+        "resolver_replayed",
         "_key_seed",
         "_promoted",
+        "_promoted_arr",
         "_roster",
         "_gate_cache",
     )
@@ -225,7 +246,15 @@ class SketchPreStage:
         self.events_unique = 0
         self.events_duplicate = 0
         self.events_deferred = 0
+        #: Promotion-resolver accounting (:meth:`observe_arrays` only):
+        #: per chunk, originators settled wholesale with array math vs
+        #: originators replayed event-by-event to find a bar crossing.
+        self.resolver_wholesale = 0
+        self.resolver_replayed = 0
         self._promoted: set[int] = set()
+        #: Sorted-array mirror of ``_promoted`` for vectorized membership
+        #: tests in :meth:`observe_arrays`; rebuilt lazily on promotion.
+        self._promoted_arr: np.ndarray | None = None
         self._roster = _UniqueInts()
         self._gate_cache: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -239,13 +268,16 @@ class SketchPreStage:
         """Summarize one event; returns a verdict (:data:`KEEP`,
         :data:`DEFER`, or :data:`DUPLICATE`) telling the streaming
         collector what to do with the exact event."""
-        self._gate_cache = None
         self._roster.add(querier)
         if self.params.dedup_seconds > 0:
             key = _event_key(originator, querier, self._bucket(timestamp), self._key_seed)
             if not self.bloom.add(key):
+                # A duplicate touches only the roster and the Bloom
+                # filter — the HLL estimates the gate is built from are
+                # unchanged, so the cache stays valid.
                 self.events_duplicate += 1
                 return DUPLICATE
+        self._gate_cache = None
         self.events_unique += 1
         self.counts.add(originator)
         changed = self.uniques.add(originator, querier)
@@ -253,6 +285,7 @@ class SketchPreStage:
             return KEEP
         if changed and self.uniques.estimate(originator) >= self.params.promote_queriers:
             self._promoted.add(originator)
+            self._promoted_arr = None
             return KEEP
         self.events_deferred += 1
         return DEFER
@@ -295,6 +328,153 @@ class SketchPreStage:
                 self.events_unique += int(stop - start)
             self.counts.add_batch(o[kept])
             self.uniques.add_batch(o[kept], q[kept])
+
+    def observe_arrays(
+        self,
+        timestamps: np.ndarray,
+        queriers: np.ndarray,
+        originators: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ingest of aligned event arrays (streaming mode).
+
+        The array-native twin of per-event :meth:`observe`: returns
+        ``(codes, kept)`` where ``codes[i]`` is the uint8 verdict of
+        event *i* (:data:`KEEP_CODE` / :data:`DEFER_CODE` /
+        :data:`DUPLICATE_CODE` — the exact verdict sequence the scalar
+        path would produce, for any chunk split) and ``kept`` holds the
+        indices of KEEP events in input order, i.e. the events the
+        streaming collector materializes exactly.
+
+        Dedup is vectorized like :meth:`observe_batch` (``np.unique``
+        within the chunk, Bloom across chunks).  Promotion uses a
+        two-tier resolver per chunk: originators that entered the chunk
+        promoted (all KEEP) or whose HLL estimate provably stays below
+        ``promote_queriers`` throughout the chunk (all DEFER) are
+        settled wholesale with array math; only originators that may
+        *cross* the bar inside the chunk are rewound to their pre-chunk
+        registers and replayed event-by-event to land on the exact
+        crossing event.  See DESIGN.md § 3c for the bound that makes
+        the wholesale DEFER tier safe.
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        queriers = np.asarray(queriers, dtype=np.int64)
+        originators = np.asarray(originators, dtype=np.int64)
+        codes = np.empty(timestamps.size, dtype=np.uint8)
+        for start in range(0, timestamps.size, _CHUNK_EVENTS):
+            stop = min(start + _CHUNK_EVENTS, timestamps.size)
+            self._observe_chunk(
+                timestamps[start:stop],
+                queriers[start:stop],
+                originators[start:stop],
+                codes[start:stop],
+            )
+        return codes, np.flatnonzero(codes == KEEP_CODE)
+
+    def _observe_chunk(
+        self,
+        timestamps: np.ndarray,
+        queriers: np.ndarray,
+        originators: np.ndarray,
+        codes: np.ndarray,
+    ) -> None:
+        """One bounded chunk of :meth:`observe_arrays`; writes *codes* in place."""
+        n = int(timestamps.size)
+        codes[:] = DUPLICATE_CODE
+        self._roster.add_array(queriers)
+        dedup = self.params.dedup_seconds
+        if dedup > 0:
+            buckets = np.floor_divide(timestamps, dedup).astype(np.int64)
+            keys = _event_key_array(originators, queriers, buckets, self._key_seed)
+            _, first = np.unique(keys, return_index=True)
+            first.sort()
+            novel = self.bloom.add_batch(keys[first])
+            kept = first[novel]
+            self.events_unique += int(kept.size)
+            self.events_duplicate += int(n - kept.size)
+        else:
+            kept = np.arange(n, dtype=np.intp)
+            self.events_unique += n
+        if kept.size == 0:
+            return
+        self._gate_cache = None
+        o = originators[kept]
+        q = queriers[kept]
+        self.counts.add_batch(o)
+        uniq, ufirst, inverse = np.unique(o, return_index=True, return_inverse=True)
+        # One dict sweep resolves every originator's bank row; missing
+        # rows are created in chronological first-occurrence order so the
+        # per-group register updates below cannot scramble bank insertion
+        # order relative to the scalar path.
+        slots = self.uniques.resolve_slots(uniq, create_order=np.argsort(ufirst))
+        if self._promoted_arr is None:
+            self._promoted_arr = np.fromiter(
+                self._promoted, dtype=np.int64, count=len(self._promoted)
+            )
+            self._promoted_arr.sort()
+        promoted = np.isin(uniq, self._promoted_arr, assume_unique=True)
+        event_slots = slots[inverse]
+        keep_events = promoted[inverse]
+        if keep_events.any():
+            # Tier 1a: already-promoted originators — every event KEEPs.
+            codes[kept[keep_events]] = KEEP_CODE
+            self.uniques.add_at_slots(event_slots[keep_events], q[keep_events])
+        pending_sel = np.flatnonzero(~promoted)
+        if pending_sel.size == 0:
+            self.resolver_wholesale += int(uniq.size)
+            return
+        pending = uniq[pending_sel]
+        pending_slots = slots[pending_sel]
+        pending_events = ~keep_events
+        snapshot = self.uniques.rows_at(pending_slots)
+        self.uniques.add_at_slots(event_slots[pending_events], q[pending_events])
+        estimates, zeros = self.uniques.estimate_slots(pending_slots, with_zeros=True)
+        # Tier 1b: an unpromoted originator enters the chunk with an
+        # estimate < promote_queriers (the scalar check re-runs at every
+        # register change, which is the only time the estimate moves),
+        # and no intermediate estimate inside the chunk can exceed
+        # ``max(final estimate, m·ln(m / max(final zeros, 1)))``: the
+        # raw harmonic estimate is monotone in the registers, the
+        # linear-counting branch is monotone in the zero count, and when
+        # the final estimate takes the linear branch every prefix does
+        # too.  Originators whose bound stays below the bar never
+        # promote inside the chunk — settled wholesale as DEFER.
+        m = float(1 << self.params.hll_precision)
+        bound = np.maximum(
+            estimates, m * np.log(m / np.maximum(zeros, 1).astype(np.float64))
+        )
+        below = bound < float(self.params.promote_queriers)
+        crossers = pending[~below]
+        self.resolver_wholesale += int(uniq.size - crossers.size)
+        if crossers.size == 0:
+            codes[kept[pending_events]] = DEFER_CODE
+            self.events_deferred += int(np.count_nonzero(pending_events))
+            return
+        # Tier 2: rewind the (few) possible crossers to their pre-chunk
+        # registers and re-run their events through the scalar promote
+        # check to land on the exact crossing event.
+        self.resolver_replayed += int(crossers.size)
+        self.uniques.write_rows_at(pending_slots[~below], snapshot[~below])
+        crosser_flag = np.zeros(uniq.size, dtype=bool)
+        crosser_flag[pending_sel[~below]] = True
+        replay_events = crosser_flag[inverse]
+        settled = pending_events & ~replay_events
+        codes[kept[settled]] = DEFER_CODE
+        self.events_deferred += int(np.count_nonzero(settled))
+        bar = self.params.promote_queriers
+        bank = self.uniques
+        for i in np.flatnonzero(replay_events).tolist():
+            origin = int(o[i])
+            changed = bank.add(origin, int(q[i]))
+            if origin in self._promoted:
+                codes[kept[i]] = KEEP_CODE
+                continue
+            if changed and bank.estimate(origin) >= bar:
+                self._promoted.add(origin)
+                self._promoted_arr = None
+                codes[kept[i]] = KEEP_CODE
+                continue
+            codes[kept[i]] = DEFER_CODE
+            self.events_deferred += 1
 
     # -- the gate --------------------------------------------------------
 
@@ -389,9 +569,12 @@ class SketchPreStage:
         self.uniques.merge(other.uniques)
         self._roster.update(other._roster)
         self._promoted |= other._promoted
+        self._promoted_arr = None
         self.events_unique += other.events_unique
         self.events_duplicate += other.events_duplicate
         self.events_deferred += other.events_deferred
+        self.resolver_wholesale += other.resolver_wholesale
+        self.resolver_replayed += other.resolver_replayed
         self._gate_cache = None
         return self
 

@@ -335,6 +335,44 @@ class TestStreamingEquivalence:
             for o, row in got_rows.items():
                 assert np.array_equal(row, want_rows[o])
 
+    @pytest.mark.parametrize("chunk", [1, 7, 400])
+    def test_streaming_sketch_vectorized_chunks_match_scalar_feed(self, chunk):
+        # Shards inherit the pre-stage's array-native verdict path via
+        # ingest_arrays; any chunk split must promote the same rows as a
+        # per-entry scalar feed of a single engine.  (Row *order* differs
+        # by the documented promotion-vs-first-appearance exception.)
+        directory = directory_for(range(100, 140))
+        config = SensorConfig(
+            window_seconds=100.0,
+            min_queriers=3,
+            sketch_enabled=True,
+            hll_precision=10,
+        )
+        entries = synthetic_entries()
+        engine = SensorEngine(directory, config)
+        for e in entries:
+            engine.ingest(e)
+        expected = engine.poll(classify=False) + engine.finish(classify=False)
+        block = EntryBlock.from_entries(entries)
+        with FederatedSensor(
+            directory, config, n_shards=2, processes=False
+        ) as federated:
+            merged = self._stream(federated, block, chunk=chunk)
+        assert len(merged) == len(expected) > 0
+        for got, want in zip(merged, expected):
+            want_rows = {
+                int(o): want.features.matrix[i]
+                for i, o in enumerate(want.features.originators)
+            }
+            got_rows = {
+                int(o): got.features.matrix[i]
+                for i, o in enumerate(got.features.originators)
+            }
+            assert set(got_rows) == set(want_rows)
+            for o, row in got_rows.items():
+                assert np.array_equal(row, want_rows[o])
+            assert got.features.context == want.features.context
+
 
 class TestStreamingProperty:
     @settings(max_examples=15, deadline=None)
