@@ -1,0 +1,154 @@
+"""Service smoke check: start `repro serve`, curl it, SIGTERM it.
+
+Exercises the real process boundary the unit tests cannot: a
+`python -m repro.cli serve` subprocess against a generated `.npz` log,
+probed over HTTP while it serves, then shut down with SIGTERM.  Fails
+(exit 1) unless
+
+* the service reports nonzero closed windows on ``/healthz``,
+* ``/metrics`` carries ``repro_service_windows_total`` and
+  ``/verdicts`` at least one window record,
+* the process exits cleanly (rc 0) within the timeout after SIGTERM.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py [--timeout 120]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def generate_world(workdir: Path) -> tuple[Path, Path, Path]:
+    """A tiny serialized world: .npz log, querier directory, labels."""
+    sys.path.insert(0, str(REPO / "src"))
+    import numpy as np
+
+    from repro.datasets import write_directory
+    from repro.logstore import EntryBlock, save_block
+    from repro.netmodel.addressing import ip_to_str
+    from repro.netmodel.world import NameStatus
+    from repro.sensor.directory import QuerierInfo
+
+    rng = np.random.default_rng(11)
+    rows = []
+    for w in range(3):
+        for o in range(1, 9):
+            for k in range(12):
+                q = 100 + (o * 13 + k * 7) % 40
+                t = w * 100.0 + float(rng.uniform(0.0, 99.0))
+                rows.append((t, q, o))
+    rows.sort()
+    ts, qs, os_ = (np.array(c) for c in zip(*rows))
+    log_path = workdir / "feed.npz"
+    save_block(log_path, EntryBlock.from_arrays(
+        ts.astype(np.float64), qs.astype(np.int64), os_.astype(np.int64)
+    ))
+    countries = ("jp", "us", "de")
+    dir_path = workdir / "queriers.jsonl"
+    write_directory(
+        dir_path,
+        (
+            QuerierInfo(addr=q, name=f"host{q}.example.net",
+                        status=NameStatus.OK, asn=q % 5 + 1,
+                        country=countries[q % 3])
+            for q in range(100, 140)
+        ),
+    )
+    labels_path = workdir / "labels.json"
+    labels_path.write_text(json.dumps(
+        {ip_to_str(o): ("scan" if o % 2 else "dns") for o in range(1, 9)}
+    ))
+    return log_path, dir_path, labels_path
+
+
+def http_json(port: int, path: str):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+        return resp.status, resp.read()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    args = parser.parse_args()
+    deadline = time.monotonic() + args.timeout
+
+    with tempfile.TemporaryDirectory(prefix="smoke-service-") as tmp:
+        workdir = Path(tmp)
+        log_path, dir_path, labels_path = generate_world(workdir)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "-l", str(log_path), "-d", str(dir_path), "-t", str(labels_path),
+                "--port", "0", "--window", "100", "--min-queriers", "3",
+                "--retrain", "daily",
+            ],
+            cwd=REPO,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        port = None
+        try:
+            # The service prints its bound address first thing.
+            while port is None:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("never printed the serving line")
+                line = proc.stdout.readline()
+                if not line and proc.poll() is not None:
+                    raise RuntimeError(f"serve exited early (rc {proc.returncode})")
+                print(f"  serve: {line.rstrip()}")
+                if line.startswith("serving http on "):
+                    port = int(line.rsplit(":", 1)[1])
+
+            windows = 0
+            while windows == 0:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("no window ever closed")
+                try:
+                    status, body = http_json(port, "/healthz")
+                except OSError:
+                    time.sleep(0.2)
+                    continue
+                assert status == 200, f"/healthz -> {status}"
+                windows = json.loads(body)["windows"]
+                time.sleep(0.1)
+            print(f"  healthz: {windows} windows closed")
+
+            status, body = http_json(port, "/metrics")
+            assert status == 200, f"/metrics -> {status}"
+            assert b"repro_service_windows_total" in body, "metrics missing counter"
+            status, body = http_json(port, "/verdicts")
+            assert status == 200, f"/verdicts -> {status}"
+            assert json.loads(body)["windows"], "no verdict records"
+            print("  metrics + verdicts OK")
+
+            proc.send_signal(signal.SIGTERM)
+            remaining = max(1.0, deadline - time.monotonic())
+            out, _ = proc.communicate(timeout=remaining)
+            for line in out.splitlines():
+                print(f"  serve: {line}")
+            assert proc.returncode == 0, f"rc {proc.returncode} after SIGTERM"
+            print("smoke_service: PASS (clean shutdown)")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,13 @@ Subcommands:
 * ``repro convert <LOG> -o OUT`` — re-serialize a query log between the
   text/framed formats and the columnar block layouts;
 * ``repro figures -o DIR`` — render the implemented paper figures as SVG;
-* ``repro experiments ...`` — forwarded to :mod:`repro.experiments`.
+* ``repro experiments ...`` — forwarded to :mod:`repro.experiments`;
+* ``repro serve -l LOG -d DIR -t LABELS`` — run the long-running
+  detection service (:mod:`repro.service`): train on the labels, replay
+  the log as a chunked live feed, then keep serving ``/verdicts`` /
+  ``/alerts`` / ``/healthz`` / ``/metrics`` (and an optional raw feed
+  socket, ``--feed-port``) until SIGTERM; ``--retrain daily`` turns on
+  the online § V retraining loop with atomic model hot-swaps.
 
 ``classify`` and ``convert`` accept any log format by suffix — ``.npz``
 / ``.npy`` columnar blocks (:mod:`repro.logstore`), ``.rbsc`` framed
@@ -377,8 +383,13 @@ def _classify_stream(
     # Reuse the span-trained classify stage.
     engine.fit_from(trainer)
 
+    every = max(0, args.metrics_every)
+    since_snapshot = 0
+
     def report(sensed) -> None:
+        # Window-close hook (engine.on_window): fires with a
         # SensedWindow (single engine) or FederatedWindow (--shards).
+        nonlocal since_snapshot
         window = getattr(sensed, "window", sensed)
         originators = (
             len(window) if hasattr(window, "__len__") else window.originators
@@ -393,30 +404,117 @@ def _classify_stream(
                 f"  {ip_to_str(verdict.originator):<16} "
                 f"{verdict.footprint:>8}  {verdict.app_class}"
             )
-
-    every = max(0, args.metrics_every)
-    since_snapshot = 0
-
-    def sense_and_report(batch) -> None:
-        nonlocal since_snapshot
-        for sensed in batch:
-            report(sensed)
-            since_snapshot += 1
+        since_snapshot += 1
         if registry is not None and every and since_snapshot >= every:
             _write_snapshot(args, registry)
             since_snapshot = 0
 
+    unsubscribe = engine.on_window(report)
     chunk = max(1, args.chunk)
     try:
         for offset in range(0, len(entries), chunk):
             engine.ingest_block(entries[offset : offset + chunk])
-            sense_and_report(engine.poll())
-        sense_and_report(engine.finish())
+            engine.poll()
+        engine.finish()
     finally:
+        unsubscribe()
         if hasattr(engine, "close"):
             engine.close()
     print()
     print(engine.format_accounting())
+    _write_snapshot(args, registry)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on detection service over a replayed feed."""
+    import asyncio
+    import signal
+
+    from repro.datasets import read_directory
+    from repro.sensor import LabeledSet, SensorConfig, SensorEngine
+    from repro.service import BackscatterService, ServiceConfig
+
+    if args.window <= 0:
+        print("--window must be positive", file=sys.stderr)
+        return 1
+    entries = _load_log(args.log)
+    if not entries:
+        print("log is empty", file=sys.stderr)
+        return 1
+    directory = read_directory(args.directory)
+    start = entries[0].timestamp
+    end = entries[-1].timestamp + 1.0
+    raw_labels = json.loads(Path(args.labels).read_text())
+    labeled = LabeledSet.from_pairs(
+        (str_to_ip(addr), app_class) for addr, app_class in raw_labels.items()
+    )
+    registry = _registry_for(args)
+
+    # Train the initial model on the full span, exactly like classify.
+    trainer = SensorEngine(
+        directory,
+        SensorConfig(
+            window_seconds=end - start,
+            origin=start,
+            min_queriers=args.min_queriers,
+            featurize_workers=args.workers,
+            **_sketch_overrides(args),
+        ),
+        registry=registry,
+    )
+    features = trainer.featurize(trainer.collect(entries, start, end))
+    present = labeled.restrict_to({int(o) for o in features.originators})
+    if len(present) < 4:
+        print("too few labeled originators appear in the log", file=sys.stderr)
+        return 1
+    trainer.fit(features, present)
+
+    config = ServiceConfig(
+        sensor=SensorConfig(
+            window_seconds=args.window,
+            origin=start,
+            min_queriers=args.min_queriers,
+            featurize_workers=args.workers,
+            **_sketch_overrides(args),
+        ),
+        host=args.host,
+        port=args.port,
+        feed_port=args.feed_port,
+        shards=args.shards,
+        retrain=None if args.retrain == "off" else args.retrain,
+    )
+    service = BackscatterService(directory, config, registry=registry)
+    service.fit_from(trainer, labeled=present)
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.start()
+        host, port = service.http_address
+        print(f"serving http on {host}:{port}", flush=True)
+        if service.feed_address is not None:
+            feed_host, feed_port = service.feed_address
+            print(f"accepting {config.feed_format} feed on "
+                  f"{feed_host}:{feed_port}", flush=True)
+        chunk = max(1, args.chunk)
+        for offset in range(0, len(entries), chunk):
+            service.submit_block(entries[offset : offset + chunk])
+        await service.drain()
+        print(f"replayed {len(entries):,} events "
+              f"({service.windows_total} windows closed)", flush=True)
+        if args.once:
+            service.request_shutdown()
+        await service.wait_shutdown()
+        await service.stop()
+
+    asyncio.run(run())
+    health = service.health()
+    print(
+        f"served {health['windows']} windows, {health['verdicts']} verdicts, "
+        f"{health['alerts']} alerts, model v{health['model_version']}"
+    )
     _write_snapshot(args, registry)
     return 0
 
@@ -579,6 +677,63 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_option(figures)
     add_metrics_options(figures)
     figures.set_defaults(func=_cmd_figures)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-running detection service"
+    )
+    serve.add_argument("-l", "--log", required=True, help="query log to replay as the feed")
+    serve.add_argument("-d", "--directory", required=True, help="querier directory (jsonl)")
+    serve.add_argument("-t", "--labels", required=True, help="labels json (ip -> class)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8053, help="HTTP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--feed-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also accept a raw text/.rbsc feed on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--retrain",
+        choices=("off", "once", "daily", "grow"),
+        default="off",
+        help="online retraining strategy applied between windows "
+        "(daily = refit the curated labels on fresh features; grow = "
+        "auto-grow from the engine's own verdicts, the paper's "
+        "cautionary §V strategy)",
+    )
+    serve.add_argument("--min-queriers", type=int, default=20)
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=86400.0,
+        help="streaming window interval in seconds",
+    )
+    serve.add_argument(
+        "--chunk",
+        type=int,
+        default=5000,
+        help="entries submitted to the service per feed chunk",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="federate the engine across N shard workers",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the replayed feed drains instead of serving "
+        "until SIGTERM (smoke tests)",
+    )
+    add_sketch_options(serve)
+    add_workers_option(serve)
+    add_metrics_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     experiments = commands.add_parser("experiments", help="run experiment modules")
     experiments.add_argument("names", nargs="*", help="experiment names")

@@ -37,7 +37,7 @@ engine's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -148,6 +148,30 @@ class FederatedSensor:
         self._shard_dedup = [0] * n_shards
         self._stream_windows = 0
         self._absorbed = {"ingested": 0, "late": 0, "windows": 0, "dedup": 0}
+        self._window_callbacks: list[Callable[[FederatedWindow], None]] = []
+
+    # -- window-close hooks ---------------------------------------------
+
+    def on_window(
+        self, callback: Callable[[FederatedWindow], None]
+    ) -> Callable[[], None]:
+        """Register a hook invoked with each merged streaming window.
+
+        Mirrors :meth:`repro.sensor.engine.SensorEngine.on_window`: the
+        callback fires once per :class:`FederatedWindow`, in emission
+        order, from inside :meth:`poll` / :meth:`finish` after the
+        two-phase merge and (when fitted) classification.  Returns an
+        unsubscribe callable.
+        """
+        self._window_callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._window_callbacks.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # -- lifecycle ------------------------------------------------------
 
@@ -402,6 +426,9 @@ class FederatedSensor:
                 )
             )
         self._stream_windows += len(out)
+        for merged in out:
+            for callback in list(self._window_callbacks):
+                callback(merged)
         return out
 
     # -- the merge stage ------------------------------------------------
@@ -489,6 +516,12 @@ class FederatedSensor:
     def fit_from(self, other: SensorEngine) -> "FederatedSensor":
         """Adopt a span-trained single engine's classify stage."""
         self._merge_engine.fit_from(other)
+        return self
+
+    def adopt_training(self, X, y, encoder) -> "FederatedSensor":
+        """Hot-swap the driver's classify-stage model (see the engine's
+        :meth:`~repro.sensor.engine.SensorEngine.adopt_training`)."""
+        self._merge_engine.adopt_training(X, y, encoder)
         return self
 
     def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:

@@ -77,7 +77,9 @@ from repro.sensor.training import (
     Strategy,
     TimeSeriesEvaluation,
     WindowScore,
+    enough_to_train,
     evaluate_strategy,
+    labeled_rows,
 )
 
 __all__ = [
@@ -136,4 +138,6 @@ __all__ = [
     "TimeSeriesEvaluation",
     "WindowScore",
     "evaluate_strategy",
+    "labeled_rows",
+    "enough_to_train",
 ]

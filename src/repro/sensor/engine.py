@@ -300,6 +300,36 @@ class SensorEngine:
         self._train_y: np.ndarray | None = None
         self._collector: StreamingCollector | None = None
         self._absorbed = StreamingStats()
+        self._window_callbacks: list[Callable[[SensedWindow], None]] = []
+
+    # -- window-close hooks ---------------------------------------------
+
+    def on_window(
+        self, callback: Callable[[SensedWindow], None]
+    ) -> Callable[[], None]:
+        """Register a hook invoked with each streaming-sensed window.
+
+        The supported way for long-running callers (the service, the CLI
+        stream report) to observe window closes without polling return
+        values or reaching into collector internals.  Callbacks fire
+        once per :class:`SensedWindow`, in emission order, after the
+        window has run through every applicable stage — from inside
+        :meth:`poll` / :meth:`finish` on the streaming path.  Exceptions
+        propagate to the poller.  Returns an unsubscribe callable.
+        """
+        self._window_callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._window_callbacks.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify_window(self, sensed: SensedWindow) -> None:
+        for callback in list(self._window_callbacks):
+            callback(sensed)
 
     # -- telemetry ------------------------------------------------------
 
@@ -465,7 +495,10 @@ class SensorEngine:
                     self.collector.pending_windows,
                     help="Observation windows still open at the collector.",
                 )
-            return [self._sense(window, classify) for window in completed]
+            sensed = [self._sense(window, classify) for window in completed]
+            for item in sensed:
+                self._notify_window(item)
+            return sensed
 
     def finish(self, classify: bool | None = None) -> list[SensedWindow]:
         """End of stream: flush still-open windows and sense them."""
@@ -473,7 +506,10 @@ class SensorEngine:
             with span("stage.window") as sp:
                 flushed = self.collector.flush()
             self.stats["window"].seconds += sp.elapsed
-            return [self._sense(window, classify) for window in flushed]
+            sensed = [self._sense(window, classify) for window in flushed]
+            for item in sensed:
+                self._notify_window(item)
+            return sensed
 
     def _absorb_collector_stats(self) -> None:
         """Fold collector counters into the ingest/window stage stats."""
@@ -965,9 +1001,27 @@ class SensorEngine:
         """
         if not other.is_fitted:
             raise RuntimeError("source engine is not fitted")
-        self._train_X = other._train_X
-        self._train_y = other._train_y
-        self.encoder = other.encoder
+        return self.adopt_training(other._train_X, other._train_y, other.encoder)
+
+    def adopt_training(
+        self, X: np.ndarray, y: np.ndarray, encoder: LabelEncoder
+    ) -> "SensorEngine":
+        """Install a prepared training set as the classify stage's model.
+
+        The classify stage reads ``(X, y, encoder)`` as one unit per
+        prediction, and this method replaces all three together — the
+        hot-swap primitive the online-retraining service uses to refresh
+        the model at a window boundary without any window ever seeing a
+        half-installed model.  Callers must not mutate *X*/*y* after
+        handing them over.
+        """
+        if len(X) == 0:
+            raise ValueError("training set is empty")
+        if len(X) != len(y):
+            raise ValueError("X and y row counts differ")
+        self._train_X = X
+        self._train_y = y
+        self.encoder = encoder
         return self
 
     def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:

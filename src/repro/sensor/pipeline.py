@@ -1,13 +1,12 @@
-"""Deprecated compatibility shim: the classic pipeline API over the engine.
+"""Removed compatibility shim: the classic pipeline API over the engine.
 
-:class:`BackscatterPipeline` predates :class:`repro.sensor.engine.SensorEngine`
-and is kept, **deprecated**, as a thin wrapper for existing callers and
-notebooks: it is exactly the engine's select/featurize/classify stages
-with the classic constructor signature.  Constructing one emits a
-:class:`DeprecationWarning`; every internal call site has been ported.
-Use the engine directly — it adds streaming ingestion, explicit
-windowing, per-stage accounting, and telemetry.  The mapping is
-mechanical (see docs/API.md "Migrating off BackscatterPipeline")::
+:class:`BackscatterPipeline` predated :class:`repro.sensor.engine.SensorEngine`
+and spent several releases as a :class:`DeprecationWarning` shim.  The
+shim is now **removed**: constructing one raises immediately with the
+migration mapping.  Use the engine directly — it adds streaming
+ingestion, explicit windowing, per-stage accounting, and telemetry.
+The mapping is mechanical (see docs/API.md "Migrating off
+BackscatterPipeline")::
 
     BackscatterPipeline(directory, min_queriers=N)
     # becomes
@@ -23,127 +22,27 @@ their names and signatures on the engine.
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable
-
-import numpy as np
-
-from repro.dnssim.authority import Authority
-from repro.ml.validation import Classifier
-from repro.sensor.curation import LabeledSet
-from repro.sensor.directory import QuerierDirectory
-from repro.sensor.engine import (
-    ClassifiedOriginator,
-    SensorConfig,
-    SensorEngine,
-    default_forest_factory,
-)
-from repro.sensor.features import FeatureSet
-from repro.sensor.selection import ANALYZABLE_THRESHOLD
+from repro.sensor.engine import ClassifiedOriginator, default_forest_factory
 
 __all__ = ["ClassifiedOriginator", "BackscatterPipeline", "default_forest_factory"]
 
+_MIGRATION = (
+    "BackscatterPipeline has been removed; use repro.sensor.SensorEngine "
+    "with a SensorConfig — BackscatterPipeline(directory, min_queriers=N) "
+    "becomes SensorEngine(directory, SensorConfig(min_queriers=N)), and "
+    "features_from_log(authority, start, end) becomes "
+    "engine.featurize(engine.collect(authority.log, start, end)). "
+    "See docs/API.md, 'Migrating off BackscatterPipeline'."
+)
+
 
 class BackscatterPipeline:
-    """Deprecated trainable sensor; use :class:`SensorEngine` instead.
+    """Removed; use :class:`~repro.sensor.engine.SensorEngine` instead.
 
-    Thin adapter over :class:`~repro.sensor.engine.SensorEngine`; see the
-    engine for the staged API and accounting, and the module docstring
-    for the migration mapping.
-
-    Parameters
-    ----------
-    directory:
-        Querier metadata source (names, ASNs, countries).
-    factory:
-        Builds a classifier from a seed; defaults to random forest.
-    majority_runs:
-        How many times to run the stochastic classifier per prediction,
-        taking the majority label (the paper uses 10).
-    min_queriers:
-        Analyzability threshold (§ III-B; 20 in the paper).
+    The name is kept only so existing imports fail at construction time
+    with a migration message rather than at import time with a bare
+    :class:`AttributeError`.  See the module docstring for the mapping.
     """
 
-    def __init__(
-        self,
-        directory: QuerierDirectory,
-        factory: Callable[[int], Classifier] = default_forest_factory,
-        majority_runs: int = 10,
-        min_queriers: int = ANALYZABLE_THRESHOLD,
-        seed: int = 0,
-    ) -> None:
-        warnings.warn(
-            "BackscatterPipeline is deprecated; use repro.sensor.SensorEngine "
-            "with a SensorConfig (see docs/API.md, 'Migrating off "
-            "BackscatterPipeline')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.engine = SensorEngine(
-            directory,
-            SensorConfig(
-                min_queriers=min_queriers,
-                majority_runs=majority_runs,
-                classifier_factory=factory,
-                seed=seed,
-            ),
-        )
-
-    # -- classic attribute surface, delegated ---------------------------
-
-    @property
-    def directory(self) -> QuerierDirectory:
-        return self.engine.directory
-
-    @property
-    def factory(self) -> Callable[[int], Classifier]:
-        return self.engine.config.classifier_factory
-
-    @property
-    def majority_runs(self) -> int:
-        return self.engine.config.majority_runs
-
-    @property
-    def min_queriers(self) -> int:
-        return self.engine.config.min_queriers
-
-    @property
-    def seed(self) -> int:
-        return self.engine.config.seed
-
-    @property
-    def encoder(self):
-        return self.engine.encoder
-
-    # ------------------------------------------------------------------
-
-    def features_from_log(
-        self, authority: Authority, start: float, end: float
-    ) -> FeatureSet:
-        """Stage 1+2: window the log, dedup, select, extract features."""
-        return self.engine.featurize(
-            self.engine.collect(list(authority.log), start, end)
-        )
-
-    def training_data(
-        self, features: FeatureSet, labeled: LabeledSet
-    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
-        """Feature rows and encoded labels for labeled originators present."""
-        return self.engine.training_data(features, labeled)
-
-    def fit(self, features: FeatureSet, labeled: LabeledSet) -> "BackscatterPipeline":
-        """Train on the labeled originators present in *features*."""
-        self.engine.fit(features, labeled)
-        return self
-
-    @property
-    def is_fitted(self) -> bool:
-        return self.engine.is_fitted
-
-    def classify(self, features: FeatureSet) -> list[ClassifiedOriginator]:
-        """Majority-vote classification of every originator in *features*."""
-        return self.engine.classify(features)
-
-    def classify_map(self, features: FeatureSet) -> dict[int, str]:
-        """Classification as an originator → class mapping."""
-        return self.engine.classify_map(features)
+    def __init__(self, *args, **kwargs) -> None:
+        raise RuntimeError(_MIGRATION)

@@ -29,7 +29,14 @@ from repro.ml.validation import Classifier, LabelEncoder, majority_vote_predict
 from repro.sensor.curation import LabeledSet
 from repro.sensor.features import FeatureSet
 
-__all__ = ["Strategy", "WindowScore", "TimeSeriesEvaluation", "evaluate_strategy"]
+__all__ = [
+    "Strategy",
+    "WindowScore",
+    "TimeSeriesEvaluation",
+    "evaluate_strategy",
+    "labeled_rows",
+    "enough_to_train",
+]
 
 
 class Strategy(enum.Enum):
@@ -72,9 +79,18 @@ class TimeSeriesEvaluation:
         return sum(1 for s in self.scores if s.trained) / len(self.scores)
 
 
-def _labeled_rows(
+def labeled_rows(
     features: FeatureSet, labeled: LabeledSet, encoder: LabelEncoder
 ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """One window's training data: rows and encoded labels of the
+    labeled originators present in *features*.
+
+    The strategy primitive both the offline evaluation here and the
+    online retraining service (:mod:`repro.service`) assemble candidate
+    models from.  Returns ``(X, y, used_originators)``; absent examples
+    are skipped, and class names are added to *encoder* in encounter
+    order.
+    """
     rows, names, used = [], [], []
     for example in labeled:
         row = features.row_of(example.originator)
@@ -90,9 +106,15 @@ def _labeled_rows(
     return np.stack(rows), encoder.encode(names), used
 
 
-def _enough_to_train(
+def enough_to_train(
     y: np.ndarray, min_per_class: int, min_total: int, min_classes: int = 2
 ) -> bool:
+    """Whether a candidate label vector can support a trained model.
+
+    The paper's "training fails" gate (§ V-B): at least *min_total*
+    examples and at least *min_classes* classes each holding
+    *min_per_class* of them.
+    """
     if len(y) < min_total:
         return False
     _, counts = np.unique(y, return_counts=True)
@@ -132,8 +154,8 @@ def evaluate_strategy(
 
     fixed_model_data: tuple[np.ndarray, np.ndarray] | None = None
     if strategy is Strategy.TRAIN_ONCE:
-        X0, y0, _ = _labeled_rows(windows[curation_index][1], labeled, encoder)
-        if _enough_to_train(y0, min_per_class, min_total):
+        X0, y0, _ = labeled_rows(windows[curation_index][1], labeled, encoder)
+        if enough_to_train(y0, min_per_class, min_total):
             fixed_model_data = (X0, y0)
 
     # Auto-grow state: labels believed true going into the current window.
@@ -145,17 +167,17 @@ def evaluate_strategy(
         if strategy is Strategy.TRAIN_ONCE:
             train_data = fixed_model_data
         elif strategy is Strategy.TRAIN_DAILY:
-            X, y, _ = _labeled_rows(features, labeled, encoder)
-            train_data = (X, y) if _enough_to_train(y, min_per_class, min_total) else None
+            X, y, _ = labeled_rows(features, labeled, encoder)
+            train_data = (X, y) if enough_to_train(y, min_per_class, min_total) else None
         else:  # AUTO_GROW
             if index == curation_index:
                 believed = labeled
-            X, y, _ = _labeled_rows(features, believed, encoder)
-            train_data = (X, y) if _enough_to_train(y, min_per_class, min_total) else None
+            X, y, _ = labeled_rows(features, believed, encoder)
+            train_data = (X, y) if enough_to_train(y, min_per_class, min_total) else None
 
         # -- evaluate on re-appearing curated examples --------------------
         reappearing = labeled.restrict_to(set(int(o) for o in features.originators))
-        X_eval, y_eval, eval_origins = _labeled_rows(features, reappearing, encoder)
+        X_eval, y_eval, eval_origins = labeled_rows(features, reappearing, encoder)
         if train_data is None or len(y_eval) == 0:
             scores.append(
                 WindowScore(day=day, trained=False, n_reappearing=len(y_eval), report=None)

@@ -1,0 +1,42 @@
+"""repro.service — the always-on backscatter detection service.
+
+The paper frames the sensor as an operational early-warning system
+(§ I); this package is that deployment shape: a dependency-free asyncio
+service that ingests a live query-log feed, closes observation windows
+behind the streaming watermark, and serves verdicts, surge alerts,
+health, and Prometheus metrics over a small HTTP/JSON API — with the
+§ V retraining strategies running *online*, fitted off the hot path and
+hot-swapped between windows.
+
+The curated surface is four names:
+
+* :class:`BackscatterService` — the service itself: feed transports
+  (socket, tailed file, in-process ``submit_block``), the single-pump
+  ingest loop, window/alert records, and the HTTP endpoints;
+* :class:`ServiceConfig` — one frozen, eagerly-validated configuration
+  object for every service knob;
+* :class:`ModelManager` — the online retraining loop (fit off-thread,
+  validate, atomically hand over between windows);
+* :class:`FeedReader` — incremental text/``.rbsc`` chunk decoding.
+
+Quickstart::
+
+    from repro.service import BackscatterService, ServiceConfig
+
+    config = ServiceConfig(port=8053, feed_port=8054, retrain="daily")
+    service = BackscatterService(directory, config)
+    service.fit(features, labeled)
+    await service.start()
+    await service.wait_shutdown()   # SIGTERM → request_shutdown()
+    await service.stop()
+
+or from the command line: ``repro serve -l log.npz -d directory.tsv -t
+labels.tsv --retrain daily``.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.feed import FeedReader
+from repro.service.manager import ModelManager
+from repro.service.service import BackscatterService
+
+__all__ = ["BackscatterService", "ServiceConfig", "ModelManager", "FeedReader"]

@@ -1,0 +1,432 @@
+"""The always-on detection service: live feed in, verdicts + alerts out.
+
+:class:`BackscatterService` is the operational deployment of the
+paper's sensor (§ I frames it as an early-warning system): a
+long-running asyncio process that
+
+* accepts a live query-log feed — a line/``.rbsc`` socket listener, a
+  tailed file, or the in-process :meth:`~BackscatterService.submit_block`
+  API — decoded incrementally by :class:`~repro.service.FeedReader`;
+* drives :class:`~repro.sensor.engine.SensorEngine` (or a sharded
+  :class:`~repro.federation.FederatedSensor`) streaming ingest behind
+  the global watermark, one block at a time, on a single pump task;
+* at each window close emits verdicts, updates
+  :class:`~repro.analysis.alerts.SurgeDetector` baselines, and feeds
+  the :class:`~repro.service.ModelManager` retraining loop;
+* serves ``GET /verdicts`` / ``/alerts`` / ``/healthz`` / ``/metrics``
+  (the existing Prometheus text export) over a dependency-free
+  HTTP layer.
+
+The hot-swap guarantee: models are fitted off the pump task (thread
+executor) and installed by :meth:`ModelManager.apply_pending` only
+*between* blocks; since a window is classified exactly once, at close,
+inside ``poll()``, every window's verdicts come from one complete model
+and no event is dropped while models change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.analysis.alerts import SurgeDetector
+from repro.federation import FederatedSensor
+from repro.netmodel.addressing import ip_to_str
+from repro.sensor.engine import SECONDS_PER_DAY, SensorEngine
+from repro.sensor.training import Strategy
+from repro.service.config import ServiceConfig
+from repro.service.feed import FeedReader
+from repro.service.http import HttpServer, json_response
+from repro.service.manager import ModelManager
+from repro.telemetry import MetricsRegistry, count, set_gauge, use_registry
+
+if TYPE_CHECKING:
+    from repro.logstore import EntryBlock
+    from repro.sensor.curation import LabeledSet
+    from repro.sensor.directory import QuerierDirectory
+    from repro.sensor.features import FeatureSet
+
+__all__ = ["BackscatterService"]
+
+
+class BackscatterService:
+    """One running sensor deployment; see the module docstring.
+
+    Lifecycle: construct → :meth:`fit` / :meth:`fit_from` (optional but
+    required for verdicts) → ``await start()`` → feed it (socket, tail,
+    or :meth:`submit_block`) → ``await stop()``.  All feed ingestion
+    funnels through one internal queue consumed by a single pump task,
+    so engine state never sees concurrent mutation.  Unless noted,
+    methods must be called on the service's event loop.
+    """
+
+    def __init__(
+        self,
+        directory: "QuerierDirectory | None",
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if self.config.shards > 1:
+            self.engine: "SensorEngine | FederatedSensor" = FederatedSensor(
+                directory,
+                self.config.sensor,
+                n_shards=self.config.shards,
+                registry=self.registry,
+                processes=self.config.shard_processes,
+            )
+        else:
+            self.engine = SensorEngine(
+                directory, self.config.sensor, registry=self.registry
+            )
+        self.manager: ModelManager | None = None
+        self._unsubscribes = [self.engine.on_window(self._handle_window)]
+        if self.config.on_window is not None:
+            self._unsubscribes.append(self.engine.on_window(self.config.on_window))
+        self._detectors = {
+            app_class: SurgeDetector(
+                app_class,
+                window=self.config.alert_window,
+                threshold=self.config.alert_threshold,
+                min_relative=self.config.alert_min_relative,
+            )
+            for app_class in self.config.alert_classes
+        }
+        # The pump runs engine steps on an executor thread while HTTP
+        # handlers read on the loop; this lock covers the shared records.
+        self._state_lock = threading.Lock()
+        self._windows: deque[dict] = deque(maxlen=self.config.verdict_history)
+        self._alerts: list[dict] = []
+        self.windows_total = 0
+        self.events_total = 0
+        self.verdicts_total = 0
+        self.swap_outcomes: TallyCounter[str] = TallyCounter()
+        self._newest_ts: float | None = None
+        self._last_window_end: float | None = None
+        self._queue: asyncio.Queue["EntryBlock"] | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._tail_task: asyncio.Task | None = None
+        self._http = HttpServer(
+            {
+                "/healthz": lambda: json_response(self.health()),
+                "/verdicts": lambda: json_response({"windows": self.windows()}),
+                "/alerts": lambda: json_response({"alerts": self.alerts()}),
+                "/metrics": lambda: (
+                    200,
+                    "text/plain; version=0.0.4",
+                    self.registry.to_prometheus().encode(),
+                ),
+            },
+            observe=self._observe_http,
+        )
+        self._feed_server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._started = False
+
+    # -- training -------------------------------------------------------
+
+    def fit(
+        self, features: "FeatureSet", labeled: "LabeledSet"
+    ) -> "BackscatterService":
+        """Train the initial model and arm the retraining loop."""
+        self.engine.fit(features, labeled)
+        self._arm_retraining(labeled)
+        return self
+
+    def fit_from(
+        self, trainer: SensorEngine, labeled: "LabeledSet | None" = None
+    ) -> "BackscatterService":
+        """Adopt a model trained elsewhere (the CLI's batch trainer).
+
+        *labeled* is required when the configured strategy retrains —
+        retrain-daily refits from the curated set on fresh features, and
+        auto-grow seeds from it.
+        """
+        self.engine.fit_from(trainer)
+        self._arm_retraining(labeled)
+        return self
+
+    def _arm_retraining(self, labeled: "LabeledSet | None") -> None:
+        strategy = self.config.retrain
+        if strategy not in (Strategy.TRAIN_DAILY, Strategy.AUTO_GROW):
+            return
+        if labeled is None:
+            raise ValueError(
+                f"retrain strategy {strategy.value!r} needs the labeled set"
+            )
+        self.manager = ModelManager(
+            labeled,
+            strategy,
+            factory=self.config.sensor.classifier_factory,
+            min_per_class=self.config.retrain_min_per_class,
+            min_total=self.config.retrain_min_total,
+            seed=self.config.sensor.seed,
+        )
+
+    @property
+    def model_version(self) -> int:
+        """0 = the initially-fitted model; bumped per hot-swap."""
+        return self.manager.version if self.manager is not None else 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "BackscatterService":
+        """Bind HTTP (and the optional feed listener/tail), start the pump."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._queue = asyncio.Queue()
+        self._pump_task = asyncio.create_task(self._pump(), name="service-pump")
+        await self._http.start(self.config.host, self.config.port)
+        if self.config.feed_port is not None:
+            self._feed_server = await asyncio.start_server(
+                self._handle_feed, self.config.host, self.config.feed_port
+            )
+        if self.config.feed_path is not None:
+            self._tail_task = asyncio.create_task(
+                self._tail(), name="service-tail"
+            )
+        return self
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        """Actual (host, port) of the HTTP listener once started."""
+        return self._http.address
+
+    @property
+    def feed_address(self) -> tuple[str, int] | None:
+        """Actual (host, port) of the feed listener, if configured."""
+        if self._feed_server is None or not self._feed_server.sockets:
+            return None
+        bound = self._feed_server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger; ``wait_shutdown`` wakes up."""
+        self._shutdown.set()
+
+    async def wait_shutdown(self) -> None:
+        """Park until :meth:`request_shutdown` (SIGTERM handler) fires."""
+        await self._shutdown.wait()
+
+    async def drain(self) -> None:
+        """Wait until every submitted block has been pumped through."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    async def stop(self) -> "BackscatterService":
+        """Graceful shutdown: drain, final swap, flush windows, unbind."""
+        if not self._started:
+            return self
+        if self._feed_server is not None:
+            self._feed_server.close()
+            await self._feed_server.wait_closed()
+            self._feed_server = None
+        if self._tail_task is not None:
+            self._tail_task.cancel()
+            try:
+                await self._tail_task
+            except asyncio.CancelledError:
+                pass
+            self._tail_task = None
+        await self.drain()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self.manager is not None:
+            self.manager.wait_pending()
+            self._record_swap(self.manager.apply_pending(self.engine))
+        await asyncio.get_running_loop().run_in_executor(None, self.engine.finish)
+        await self._http.stop()
+        if self.manager is not None:
+            self.manager.close()
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+        self._started = False
+        return self
+
+    # -- feed ingestion -------------------------------------------------
+
+    def submit_block(self, block: "EntryBlock") -> None:
+        """Queue one decoded block for the pump (in-process feed API)."""
+        if self._queue is None:
+            raise RuntimeError("service not started")
+        self._queue.put_nowait(block)
+
+    async def _pump(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            block = await self._queue.get()
+            try:
+                # Engine work is CPU-bound numpy; run it off the loop so
+                # HTTP stays responsive under large blocks.
+                await loop.run_in_executor(None, self._step, block)
+            finally:
+                self._queue.task_done()
+
+    def _step(self, block: "EntryBlock") -> None:
+        if self.manager is not None:
+            self._record_swap(self.manager.apply_pending(self.engine))
+        if len(block):
+            self.engine.ingest_block(block)
+            self.events_total += len(block)
+            newest = float(block.timestamps.max())
+            if self._newest_ts is None or newest > self._newest_ts:
+                self._newest_ts = newest
+            self._count("repro_service_events_total", len(block),
+                        help="Feed events accepted by the service.")
+        self.engine.poll()
+        self._update_lag()
+
+    def _record_swap(self, outcome: str) -> None:
+        if outcome == "none":
+            return
+        self.swap_outcomes[outcome] += 1
+        self._count("repro_service_swap_total", 1,
+                    help="Model hot-swap attempts by outcome.", outcome=outcome)
+
+    def _update_lag(self) -> None:
+        if self._newest_ts is None:
+            return
+        closed = self._last_window_end
+        origin = self.config.sensor.origin
+        lag = self._newest_ts - (closed if closed is not None else origin or 0.0)
+        with use_registry(self.registry):
+            set_gauge("repro_service_feed_lag_seconds", max(0.0, lag),
+                      help="Newest feed timestamp minus last closed window end.")
+
+    # -- window close ---------------------------------------------------
+
+    def _handle_window(self, sensed: object) -> None:
+        bounds = getattr(sensed, "window", sensed)
+        start, end = float(bounds.start), float(bounds.end)
+        verdicts = list(getattr(sensed, "verdicts", []))
+        self.windows_total += 1
+        self.verdicts_total += len(verdicts)
+        self._last_window_end = end
+        record = {
+            "start": start,
+            "end": end,
+            "model_version": self.model_version,
+            "verdicts": [
+                {
+                    "originator": ip_to_str(int(v.originator)),
+                    "app_class": v.app_class,
+                    "footprint": int(v.footprint),
+                }
+                for v in verdicts
+            ],
+        }
+        with self._state_lock:
+            self._windows.append(record)
+        self._count("repro_service_windows_total", 1,
+                    help="Observation windows closed by the service.")
+        if verdicts:
+            # Untrained/empty windows carry no class signal; feeding
+            # zeros would poison the surge baselines (same rule as
+            # analysis.alerts.detect_surges).
+            mid_day = (start + end) / 2.0 / SECONDS_PER_DAY
+            tallies = TallyCounter(v.app_class for v in verdicts)
+            for app_class, detector in self._detectors.items():
+                alert = detector.update(mid_day, tallies.get(app_class, 0))
+                if alert is not None:
+                    with self._state_lock:
+                        self._alerts.append(
+                            {
+                                "day": alert.day,
+                                "app_class": alert.app_class,
+                                "observed": alert.observed,
+                                "baseline": alert.baseline,
+                                "score": alert.score,
+                            }
+                        )
+                    self._count("repro_service_alerts_total", 1,
+                                help="Surge alerts raised.", app_class=app_class)
+        if self.manager is not None:
+            self.manager.observe_window(sensed)
+
+    # -- feed transports ------------------------------------------------
+
+    async def _handle_feed(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._count("repro_service_feed_connections_total", 1,
+                    help="Feed socket connections accepted.")
+        decoder = FeedReader(self.config.feed_format)
+        try:
+            while True:
+                data = await reader.read(self.config.feed_chunk)
+                if not data:
+                    break
+                block = decoder.feed(data)
+                if len(block):
+                    self.submit_block(block)
+            tail = decoder.close()
+            if len(tail):
+                self.submit_block(tail)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _tail(self) -> None:
+        decoder = FeedReader(self.config.feed_format)
+        with open(self.config.feed_path, "rb") as handle:
+            while True:
+                data = handle.read(self.config.feed_chunk)
+                if not data:
+                    await asyncio.sleep(self.config.feed_poll_seconds)
+                    continue
+                block = decoder.feed(data)
+                if len(block):
+                    self.submit_block(block)
+
+    # -- observability --------------------------------------------------
+
+    def windows(self) -> list[dict]:
+        """Retained window records, oldest first (the ``/verdicts`` body)."""
+        with self._state_lock:
+            return list(self._windows)
+
+    def alerts(self) -> list[dict]:
+        """Every surge alert raised so far (the ``/alerts`` body)."""
+        with self._state_lock:
+            return list(self._alerts)
+
+    def health(self) -> dict:
+        """The ``/healthz`` document."""
+        lag = 0.0
+        if self._newest_ts is not None and self._last_window_end is not None:
+            lag = max(0.0, self._newest_ts - self._last_window_end)
+        return {
+            "status": "ok",
+            "windows": self.windows_total,
+            "events": self.events_total,
+            "verdicts": self.verdicts_total,
+            "alerts": len(self._alerts),
+            "model_version": self.model_version,
+            "retrain": self.config.retrain.value if self.config.retrain else None,
+            "swaps": dict(self.swap_outcomes),
+            "feed_lag_seconds": lag,
+            "shards": self.config.shards,
+        }
+
+    def _observe_http(self, path: str, status: int) -> None:
+        self._count("repro_service_http_requests_total", 1,
+                    help="HTTP requests served.", endpoint=path, status=status)
+
+    def _count(self, name: str, amount: float, help: str = "", **labels) -> None:
+        with use_registry(self.registry):
+            count(name, amount, help=help, **labels)

@@ -21,6 +21,7 @@ import repro
 import repro.federation
 import repro.logstore
 import repro.sensor
+import repro.service
 import repro.sketch
 import repro.telemetry
 
@@ -31,6 +32,7 @@ CURATED = {
     "repro.federation": repro.federation,
     "repro.logstore": repro.logstore,
     "repro.sensor": repro.sensor,
+    "repro.service": repro.service,
     "repro.sketch": repro.sketch,
     "repro.telemetry": repro.telemetry,
 }
@@ -118,7 +120,9 @@ def test_top_level_reexports_are_consistent():
     assert repro.span is repro.telemetry.span
 
 
-def test_deprecated_shim_still_exported():
-    """BackscatterPipeline stays importable for one deprecation cycle."""
+def test_removed_shim_raises_on_construction():
+    """BackscatterPipeline stays importable but hard-fails with migration help."""
     assert "BackscatterPipeline" in repro.sensor.__all__
     assert "BackscatterPipeline" in repro.__all__
+    with pytest.raises(RuntimeError, match="SensorEngine"):
+        repro.sensor.BackscatterPipeline(None)

@@ -194,15 +194,11 @@ class TestPipeline:
             engine.fit(features, stranger)
 
 
-class TestDeprecatedShim:
-    def test_backscatter_pipeline_warns_but_works(self, trained_engine, small_world):
+class TestRemovedShim:
+    def test_backscatter_pipeline_raises_with_migration(self, small_world):
         from repro.sensor import WorldDirectory
 
-        engine, features, labeled, _ = trained_engine
-        with pytest.warns(DeprecationWarning, match="SensorEngine"):
-            pipeline = BackscatterPipeline(
-                WorldDirectory(small_world), majority_runs=3
-            )
-        pipeline.fit(features, labeled)
-        # The shim delegates to the engine, so verdicts are identical.
-        assert pipeline.classify_map(features) == engine.classify_map(features)
+        with pytest.raises(RuntimeError, match="SensorEngine"):
+            BackscatterPipeline(WorldDirectory(small_world), majority_runs=3)
+        with pytest.raises(RuntimeError, match="docs/API.md"):
+            BackscatterPipeline()

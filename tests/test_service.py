@@ -1,0 +1,465 @@
+"""Unit tests for `repro.service`: config, feed decoding, retraining,
+window hooks, and alert wiring."""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets.dnstap import MAGIC, VERSION
+from repro.dnssim.message import QueryLogEntry
+from repro.federation import FederatedSensor
+from repro.logstore import EntryBlock
+from repro.netmodel.world import NameStatus
+from repro.sensor.collection import ObservationWindow
+from repro.sensor.curation import LabeledSet
+from repro.sensor.directory import QuerierInfo, StaticDirectory
+from repro.sensor.engine import (
+    ClassifiedOriginator,
+    SensedWindow,
+    SensorConfig,
+    SensorEngine,
+)
+from repro.sensor.training import Strategy
+from repro.service import BackscatterService, FeedReader, ModelManager, ServiceConfig
+from repro.service.config import FEED_FORMATS
+
+
+def entry(ts: float, querier: int = 1, originator: int = 2) -> QueryLogEntry:
+    return QueryLogEntry(timestamp=ts, querier=querier, originator=originator)
+
+
+COUNTRIES = ("jp", "us", "de")
+
+
+def directory_for(queriers: range) -> StaticDirectory:
+    return StaticDirectory(
+        {
+            q: QuerierInfo(
+                addr=q,
+                name=f"host{q}.example.net",
+                status=NameStatus.OK,
+                asn=q % 5 + 1,
+                country=COUNTRIES[q % len(COUNTRIES)],
+            )
+            for q in queriers
+        }
+    )
+
+
+def synthetic_entries(
+    n_originators: int = 8,
+    queriers_per: int = 12,
+    windows: int = 3,
+    width: float = 100.0,
+) -> list[QueryLogEntry]:
+    rng = np.random.default_rng(7)
+    out: list[QueryLogEntry] = []
+    for w in range(windows):
+        for o in range(1, n_originators + 1):
+            for k in range(queriers_per):
+                q = 100 + (o * 13 + k * 7) % 40
+                t = w * width + float(rng.uniform(0.0, width - 1.0))
+                out.append(entry(t, querier=q, originator=o))
+    out.sort(key=lambda e: e.timestamp)
+    return out
+
+
+def rbsc_bytes(block: EntryBlock) -> bytes:
+    out = struct.pack(">4sH", MAGIC, VERSION)
+    for ts, q, o in zip(block.timestamps, block.queriers, block.originators):
+        out += struct.pack(">H", 16) + struct.pack(">dII", float(ts), int(q), int(o))
+    return out
+
+
+class TestServiceConfig:
+    def test_defaults_validate(self):
+        config = ServiceConfig()
+        assert config.port == 8053
+        assert config.feed_format in FEED_FORMATS
+        assert config.retrain is None
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"port": -1},
+            {"port": 70000},
+            {"feed_port": 70000},
+            {"feed_format": "csv"},
+            {"feed_chunk": 0},
+            {"feed_poll_seconds": 0.0},
+            {"shards": 0},
+            {"retrain": "hourly"},
+            {"retrain_min_per_class": 0},
+            {"retrain_min_total": 0},
+            {"verdict_history": 0},
+            {"alert_window": 1},
+            {"alert_threshold": 0.0},
+            {"alert_min_relative": -0.1},
+            {"on_window": 42},
+            {"sensor": "not-a-config"},
+        ],
+    )
+    def test_rejects_bad_values(self, overrides):
+        with pytest.raises(ValueError):
+            ServiceConfig(**overrides)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, None),
+            ("once", Strategy.TRAIN_ONCE),
+            ("daily", Strategy.TRAIN_DAILY),
+            ("grow", Strategy.AUTO_GROW),
+            ("train-daily", Strategy.TRAIN_DAILY),
+            (Strategy.AUTO_GROW, Strategy.AUTO_GROW),
+        ],
+    )
+    def test_retrain_coercion(self, value, expected):
+        assert ServiceConfig(retrain=value).retrain is expected
+
+    def test_frozen_and_replaced(self):
+        config = ServiceConfig()
+        with pytest.raises(AttributeError):
+            config.port = 80
+        variant = config.replaced(port=0, retrain="daily")
+        assert variant.port == 0
+        assert variant.retrain is Strategy.TRAIN_DAILY
+        assert config.port == 8053
+        with pytest.raises(ValueError):
+            config.replaced(shards=-1)
+
+
+class TestFeedReader:
+    LINE = "%s 192.0.2.9 4.3.2.10.in-addr.arpa\n"
+
+    def test_text_lines_with_partial_tail(self):
+        reader = FeedReader("text")
+        first = reader.feed((self.LINE % "10.0").encode() + b"20")
+        assert len(first) == 1
+        assert first.timestamps[0] == 10.0
+        second = reader.feed((".5 192.0.2.9 4.3.2.10.in-addr.arpa\n").encode())
+        assert len(second) == 1
+        assert second.timestamps[0] == 20.5
+        assert len(reader.close()) == 0
+        assert reader.entries_decoded == 2
+
+    def test_text_comments_and_blanks_skipped(self):
+        reader = FeedReader("text")
+        block = reader.feed(b"# header\n\n" + (self.LINE % "1.0").encode())
+        assert len(block) == 1
+
+    def test_text_final_unterminated_line_flushed_at_close(self):
+        reader = FeedReader("text")
+        assert len(reader.feed((self.LINE % "3.0").encode()[:-1])) == 0
+        tail = reader.close()
+        assert len(tail) == 1 and tail.timestamps[0] == 3.0
+
+    def test_text_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="expected"):
+            FeedReader("text").feed(b"1.0 onlytwo\n")
+
+    def test_auto_resolves_text(self):
+        reader = FeedReader("auto")
+        assert reader.format == "auto"
+        reader.feed((self.LINE % "1.0").encode())
+        assert reader.format == "text"
+
+    def test_auto_short_stream_closes_as_text(self):
+        reader = FeedReader("auto")
+        assert len(reader.feed(b"#a")) == 0
+        assert len(reader.close()) == 0
+
+    @pytest.mark.parametrize("chunk", [1, 7, 18, 100])
+    def test_rbsc_across_odd_chunk_boundaries(self, chunk):
+        block = EntryBlock.from_entries(
+            [entry(float(i), querier=50 + i, originator=9) for i in range(6)]
+        )
+        payload = rbsc_bytes(block)
+        reader = FeedReader("auto")
+        decoded = []
+        for lo in range(0, len(payload), chunk):
+            got = reader.feed(payload[lo : lo + chunk])
+            if len(got):
+                decoded.append(got)
+        assert len(reader.close()) == 0
+        assert reader.format == "rbsc"
+        total = sum(len(b) for b in decoded)
+        assert total == 6
+        assert reader.entries_decoded == 6
+        stitched = np.concatenate([b.timestamps for b in decoded])
+        assert np.array_equal(stitched, block.timestamps)
+
+    def test_rbsc_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            FeedReader("rbsc").feed(b"NOPE" + b"\x00" * 20)
+
+    def test_rbsc_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            FeedReader("rbsc").feed(struct.pack(">4sH", MAGIC, 99))
+
+    def test_rbsc_bad_frame_length(self):
+        payload = struct.pack(">4sH", MAGIC, VERSION)
+        payload += struct.pack(">H", 12) + b"\x00" * 16
+        with pytest.raises(ValueError, match="frame length"):
+            FeedReader("rbsc").feed(payload)
+
+    def test_rbsc_truncated_at_close_raises(self):
+        block = EntryBlock.from_entries([entry(1.0)])
+        reader = FeedReader("rbsc")
+        reader.feed(rbsc_bytes(block)[:-5])
+        with pytest.raises(ValueError, match="truncated"):
+            reader.close()
+
+    def test_feed_after_close_raises(self):
+        reader = FeedReader("text")
+        reader.close()
+        with pytest.raises(ValueError, match="close"):
+            reader.feed(b"x")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            FeedReader("csv")
+
+
+class TestOnWindowHook:
+    def _trained(self, config):
+        directory = directory_for(range(100, 140))
+        trainer = SensorEngine(directory, config)
+        entries = synthetic_entries()
+        window = trainer.process(entries, 0.0, 100.0, classify=False)[0]
+        labeled = LabeledSet.from_pairs(
+            (int(o), "scan" if int(o) % 2 else "dns")
+            for o in window.features.originators
+        )
+        trainer.fit(window.features, labeled)
+        return directory, trainer, entries, labeled
+
+    def test_engine_hook_fires_in_emission_order(self):
+        config = SensorConfig(window_seconds=100.0, min_queriers=3, majority_runs=3)
+        directory, trainer, entries, _ = self._trained(config)
+        engine = SensorEngine(directory, config).fit_from(trainer)
+        block = EntryBlock.from_entries(entries)
+        seen: list[SensedWindow] = []
+        unsubscribe = engine.on_window(seen.append)
+        returned = []
+        for lo in range(0, len(block), 300):
+            engine.ingest_block(block[lo : lo + 300])
+            returned.extend(engine.poll())
+        returned.extend(engine.finish())
+        assert len(seen) == len(returned) == 3
+        assert all(a is b for a, b in zip(seen, returned))
+        assert all(w.verdicts for w in seen)
+        # Unsubscribed hooks stay silent.
+        unsubscribe()
+        unsubscribe()  # idempotent
+        engine2 = SensorEngine(directory, config).fit_from(trainer)
+        count = []
+        remove = engine2.on_window(count.append)
+        remove()
+        engine2.ingest_block(block)
+        engine2.poll()
+        engine2.finish()
+        assert count == []
+
+    def test_federated_hook_fires_with_merged_windows(self):
+        config = SensorConfig(window_seconds=100.0, min_queriers=3, majority_runs=3)
+        directory, trainer, entries, _ = self._trained(config)
+        block = EntryBlock.from_entries(entries)
+        seen = []
+        with FederatedSensor(
+            directory, config, n_shards=2, processes=False
+        ) as federated:
+            federated.fit_from(trainer)
+            federated.on_window(seen.append)
+            federated.ingest_block(block)
+            federated.poll()
+            federated.finish()
+        assert len(seen) == 3
+        assert all(w.verdicts for w in seen)
+        assert all(hasattr(w, "shard_rows") for w in seen)
+
+
+class _Recorder:
+    """Stands in for an engine on the receiving end of a hot-swap."""
+
+    def __init__(self):
+        self.adopted = []
+
+    def adopt_training(self, X, y, encoder):
+        self.adopted.append((X, y, encoder))
+
+
+class _ExplodingClassifier:
+    def fit(self, X, y):
+        raise RuntimeError("boom")
+
+    def predict(self, X):  # pragma: no cover
+        raise RuntimeError("boom")
+
+
+class TestModelManager:
+    def _window(self, config=None):
+        config = config or SensorConfig(
+            window_seconds=100.0, min_queriers=3, majority_runs=3
+        )
+        directory = directory_for(range(100, 140))
+        engine = SensorEngine(directory, config)
+        sensed = engine.process(synthetic_entries(), 0.0, 100.0, classify=False)[0]
+        labeled = LabeledSet.from_pairs(
+            (int(o), "scan" if int(o) % 2 else "dns")
+            for o in sensed.features.originators
+        )
+        return sensed, labeled
+
+    def test_inactive_strategies_do_nothing(self):
+        sensed, labeled = self._window()
+        for strategy in (None, Strategy.TRAIN_ONCE):
+            with ModelManager(labeled, strategy) as manager:
+                assert not manager.active
+                assert manager.observe_window(sensed) == "none"
+                assert manager.apply_pending(_Recorder()) == "none"
+
+    def test_train_daily_swaps(self):
+        sensed, labeled = self._window()
+        with ModelManager(
+            labeled, Strategy.TRAIN_DAILY, min_per_class=2, min_total=4
+        ) as manager:
+            assert manager.observe_window(sensed) == "scheduled"
+            manager.wait_pending()
+            recorder = _Recorder()
+            assert manager.apply_pending(recorder) == "swapped"
+            assert manager.version == 1
+            (X, y, encoder) = recorder.adopted[0]
+            assert len(X) == len(y) == len(labeled)
+            assert set(encoder.decode(y)) == {"scan", "dns"}
+            # Nothing further pending.
+            assert manager.apply_pending(recorder) == "none"
+
+    def test_auto_grow_trains_on_own_verdicts(self):
+        sensed, labeled = self._window()
+        sensed.verdicts = [
+            ClassifiedOriginator(int(o), "scan" if i % 2 else "dns", 10)
+            for i, o in enumerate(sensed.features.originators)
+        ]
+        with ModelManager(
+            labeled, Strategy.AUTO_GROW, min_per_class=2, min_total=4
+        ) as manager:
+            assert manager.observe_window(sensed) == "scheduled"
+            manager.wait_pending()
+            recorder = _Recorder()
+            assert manager.apply_pending(recorder) == "swapped"
+            X, y, encoder = recorder.adopted[0]
+            assert len(y) == len(sensed.verdicts)
+
+    def test_auto_grow_without_verdicts_is_none(self):
+        sensed, labeled = self._window()
+        sensed.verdicts = []
+        with ModelManager(labeled, Strategy.AUTO_GROW) as manager:
+            assert manager.observe_window(sensed) == "none"
+
+    def test_candidate_failing_gate_is_rejected(self):
+        sensed, labeled = self._window()
+        with ModelManager(
+            labeled, Strategy.TRAIN_DAILY, min_per_class=1000, min_total=1000
+        ) as manager:
+            manager.observe_window(sensed)
+            manager.wait_pending()
+            assert manager.apply_pending(_Recorder()) == "rejected"
+            assert manager.version == 0
+
+    def test_fit_error_is_failed_not_fatal(self):
+        sensed, labeled = self._window()
+        with ModelManager(
+            labeled,
+            Strategy.TRAIN_DAILY,
+            factory=lambda seed: _ExplodingClassifier(),
+            min_per_class=2,
+            min_total=4,
+        ) as manager:
+            manager.observe_window(sensed)
+            manager.wait_pending()
+            assert manager.apply_pending(_Recorder()) == "failed"
+
+    def test_slow_fit_skips_next_window(self):
+        sensed, labeled = self._window()
+        release = threading.Event()
+
+        class _SlowClassifier:
+            def fit(self, X, y):
+                release.wait(timeout=10.0)
+                return self
+
+            def predict(self, X):
+                return np.zeros(len(X), dtype=int)
+
+        with ModelManager(
+            labeled,
+            Strategy.TRAIN_DAILY,
+            factory=lambda seed: _SlowClassifier(),
+            min_per_class=2,
+            min_total=4,
+        ) as manager:
+            assert manager.observe_window(sensed) == "scheduled"
+            assert manager.observe_window(sensed) == "skipped"
+            assert manager.fits_skipped == 1
+            release.set()
+            manager.wait_pending()
+            assert manager.apply_pending(_Recorder()) == "swapped"
+
+
+def _sensed(start: float, end: float, verdicts) -> SensedWindow:
+    return SensedWindow(
+        window=ObservationWindow(start=start, end=end), verdicts=list(verdicts)
+    )
+
+
+class TestAlertWiring:
+    def test_surge_alert_fires_and_zero_windows_skipped(self):
+        config = ServiceConfig(
+            port=0,
+            alert_classes=("scan",),
+            alert_window=6,
+            alert_threshold=3.0,
+            alert_min_relative=0.2,
+        )
+        service = BackscatterService(None, config)
+        width = 100.0
+        # Six calm windows build the baseline...
+        for w in range(6):
+            verdicts = [
+                ClassifiedOriginator(o, "scan", 10) for o in range(1, 5)
+            ] + [ClassifiedOriginator(99, "dns", 10)]
+            service._handle_window(_sensed(w * width, (w + 1) * width, verdicts))
+        # ...an empty window must not poison the baseline with a zero...
+        service._handle_window(_sensed(600.0, 700.0, []))
+        # ...and a 5x scan surge alerts.
+        surge = [ClassifiedOriginator(o, "scan", 10) for o in range(1, 21)]
+        service._handle_window(_sensed(700.0, 800.0, surge))
+        alerts = service.alerts()
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert["app_class"] == "scan"
+        assert alert["observed"] == 20
+        assert alert["score"] >= 3.0
+        assert service.windows_total == 8
+        # The window records retain the verdict stream.
+        assert len(service.windows()) == 8
+        assert service.windows()[-1]["verdicts"][0]["app_class"] == "scan"
+
+    def test_extra_on_window_callback_runs(self):
+        seen = []
+        config = ServiceConfig(port=0, on_window=seen.append)
+        service = BackscatterService(None, config)
+        block = EntryBlock.from_entries(
+            [entry(float(t), querier=1 + t, originator=5) for t in range(5)]
+        )
+        engine = service.engine
+        engine.ingest_block(block)
+        engine.poll()
+        engine.finish()
+        assert len(seen) == 1  # both the service's hook and the extra ran
+        assert service.windows_total == 1

@@ -1,0 +1,357 @@
+"""End-to-end service tests: socket feed parity with the offline
+streaming path, hot-swap atomicity, surge alerts, and the CLI.
+
+The load-bearing property (the PR's acceptance criterion): a chunked
+live feed through `BackscatterService` produces the *same verdict
+stream* as the offline `repro classify --stream` path, and an online
+retrain-daily hot-swap completes with zero dropped events — every
+window present, every window classified by exactly one model version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets import write_directory
+from repro.datasets.dnstap import MAGIC, VERSION
+from repro.dnssim.message import QueryLogEntry
+from repro.logstore import EntryBlock, save_block
+from repro.netmodel.addressing import ip_to_str
+from repro.netmodel.world import NameStatus
+from repro.sensor.curation import LabeledSet
+from repro.sensor.directory import QuerierInfo, StaticDirectory
+from repro.sensor.engine import SensorConfig, SensorEngine
+from repro.service import BackscatterService, ServiceConfig
+
+WIDTH = 100.0
+
+
+def entry(ts: float, querier: int, originator: int) -> QueryLogEntry:
+    return QueryLogEntry(timestamp=ts, querier=querier, originator=originator)
+
+
+COUNTRIES = ("jp", "us", "de")
+
+
+def directory_for(queriers: range) -> StaticDirectory:
+    return StaticDirectory(
+        {
+            q: QuerierInfo(
+                addr=q,
+                name=f"host{q}.example.net",
+                status=NameStatus.OK,
+                asn=q % 5 + 1,
+                country=COUNTRIES[q % len(COUNTRIES)],
+            )
+            for q in queriers
+        }
+    )
+
+
+def synthetic_entries(
+    n_originators: int = 8, queriers_per: int = 12, windows: int = 3
+) -> list[QueryLogEntry]:
+    rng = np.random.default_rng(7)
+    out: list[QueryLogEntry] = []
+    for w in range(windows):
+        for o in range(1, n_originators + 1):
+            for k in range(queriers_per):
+                q = 100 + (o * 13 + k * 7) % 40
+                t = w * WIDTH + float(rng.uniform(0.0, WIDTH - 1.0))
+                out.append(entry(t, querier=q, originator=o))
+    out.sort(key=lambda e: e.timestamp)
+    return out
+
+
+def rbsc_bytes(block: EntryBlock) -> bytes:
+    out = struct.pack(">4sH", MAGIC, VERSION)
+    for ts, q, o in zip(block.timestamps, block.queriers, block.originators):
+        out += struct.pack(">H", 16) + struct.pack(">dII", float(ts), int(q), int(o))
+    return out
+
+
+def trained_world():
+    """Directory, a span-trained trainer engine, labels, and the log."""
+    directory = directory_for(range(100, 140))
+    config = SensorConfig(window_seconds=WIDTH, min_queriers=3, majority_runs=3)
+    entries = synthetic_entries()
+    trainer = SensorEngine(directory, config)
+    window = trainer.process(entries, 0.0, WIDTH, classify=False)[0]
+    labeled = LabeledSet.from_pairs(
+        (int(o), "scan" if int(o) % 2 else "dns")
+        for o in window.features.originators
+    )
+    trainer.fit(window.features, labeled)
+    return directory, config, trainer, labeled, EntryBlock.from_entries(entries)
+
+
+def offline_reference(directory, config, trainer, block, chunk=400):
+    """The `repro classify --stream` path: same engine, chunked replay."""
+    engine = SensorEngine(directory, config).fit_from(trainer)
+    windows = []
+    unsubscribe = engine.on_window(windows.append)
+    for lo in range(0, len(block), chunk):
+        engine.ingest_block(block[lo : lo + chunk])
+        engine.poll()
+    engine.finish()
+    unsubscribe()
+    return windows
+
+
+def verdict_records(windows):
+    """Offline SensedWindows in the service's /verdicts record shape."""
+    return [
+        {
+            "start": float(w.window.start),
+            "end": float(w.window.end),
+            "verdicts": [
+                {
+                    "originator": ip_to_str(int(v.originator)),
+                    "app_class": v.app_class,
+                    "footprint": int(v.footprint),
+                }
+                for v in w.verdicts
+            ],
+        }
+        for w in windows
+    ]
+
+
+async def http_get(host: str, port: int, path: str):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
+
+
+class TestSocketFeedParity:
+    def test_chunked_socket_feed_matches_offline_stream(self):
+        directory, config, trainer, _, block = trained_world()
+        expected = verdict_records(
+            offline_reference(directory, config, trainer, block)
+        )
+        payload = rbsc_bytes(block)
+
+        async def run():
+            service = BackscatterService(
+                directory, ServiceConfig(port=0, feed_port=0, sensor=config)
+            )
+            service.fit_from(trainer)
+            await service.start()
+            fhost, fport = service.feed_address
+            _, writer = await asyncio.open_connection(fhost, fport)
+            # Deliberately awkward chunk size: frames split mid-record.
+            for lo in range(0, len(payload), 1013):
+                writer.write(payload[lo : lo + 1013])
+                await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            # EOF flushes the decoder; wait for the pump to see it all.
+            while service.events_total < len(block):
+                await asyncio.sleep(0.01)
+            await service.drain()
+            host, port = service.http_address
+            status, body = await http_get(host, port, "/verdicts")
+            assert status == 200
+            live = json.loads(body)["windows"]
+            status, body = await http_get(host, port, "/healthz")
+            health = json.loads(body)
+            await service.stop()
+            return service, live, health
+
+        service, live_before_finish, health = asyncio.run(run())
+        assert health["events"] == len(block)
+        # After stop() the final window has been flushed too.
+        final = service.windows()
+        assert len(final) == len(expected) == 3
+        for got, want in zip(final, expected):
+            assert got["start"] == want["start"]
+            assert got["end"] == want["end"]
+            assert got["verdicts"] == want["verdicts"]
+            assert got["model_version"] == 0
+        # No event was lost anywhere in the live path.
+        ingest = {s.name: s for s in service.engine.accounting()}["ingest"]
+        assert ingest.items_in == len(block)
+        assert ingest.dropped == 0
+
+
+class TestHotSwap:
+    def test_retrain_daily_swap_drops_nothing_and_keeps_prefix(self):
+        directory, config, trainer, labeled, block = trained_world()
+        expected = verdict_records(
+            offline_reference(directory, config, trainer, block)
+        )
+
+        async def run():
+            service = BackscatterService(
+                directory,
+                ServiceConfig(
+                    port=0,
+                    sensor=config,
+                    retrain="daily",
+                    retrain_min_per_class=2,
+                    retrain_min_total=4,
+                ),
+            )
+            service.fit_from(trainer, labeled=labeled)
+            await service.start()
+            loop = asyncio.get_running_loop()
+            # One submission per window; between them, wait for the
+            # background fit so the next step performs a hot-swap.
+            for w in range(3):
+                lo = int(np.searchsorted(block.timestamps, w * WIDTH))
+                hi = int(np.searchsorted(block.timestamps, (w + 1) * WIDTH))
+                service.submit_block(block[lo:hi])
+                await service.drain()
+                await loop.run_in_executor(None, service.manager.wait_pending)
+            await service.stop()
+            return service
+
+        service = asyncio.run(run())
+        # The mid-run swaps happened...
+        assert service.swap_outcomes.get("swapped", 0) >= 1
+        assert service.model_version >= 1
+        # ...and cost nothing: every event ingested, every window emitted.
+        assert service.events_total == len(block)
+        ingest = {s.name: s for s in service.engine.accounting()}["ingest"]
+        assert ingest.items_in == len(block)
+        assert ingest.dropped == 0
+        final = service.windows()
+        assert len(final) == 3
+        assert [w["start"] for w in final] == [w["start"] for w in expected]
+        # Windows classified by the initial model are bit-identical to
+        # the no-retrain offline stream: the swap changed no in-flight
+        # window, only later ones.
+        v0 = [w for w in final if w["model_version"] == 0]
+        assert v0, "at least the first window must predate the first swap"
+        for got in v0:
+            want = expected[final.index(got)]
+            assert got["verdicts"] == want["verdicts"]
+        # Every window was classified by exactly one model version, and
+        # versions only move forward.
+        versions = [w["model_version"] for w in final]
+        assert versions == sorted(versions)
+
+
+class _ConstantScan:
+    """Deterministic classifier: everything is label code 0 ('scan')."""
+
+    def fit(self, X, y):
+        return self
+
+    def predict(self, X):
+        return np.zeros(len(X), dtype=int)
+
+
+def _constant_scan_factory(seed: int) -> _ConstantScan:
+    return _ConstantScan()
+
+
+class TestSurgeAlertE2E:
+    def test_injected_surge_raises_alert_through_the_feed(self):
+        # Six calm windows with 4 scanners, then a 20-scanner surge.
+        directory = directory_for(range(100, 200))
+        entries: list[QueryLogEntry] = []
+        for w in range(7):
+            population = 20 if w == 6 else 4
+            for o in range(1, population + 1):
+                for k in range(4):
+                    entries.append(
+                        entry(
+                            w * WIDTH + o + k * 10.0,
+                            querier=100 + (o * 7 + k) % 90,
+                            originator=o,
+                        )
+                    )
+        entries.sort(key=lambda e: e.timestamp)
+        block = EntryBlock.from_entries(entries)
+        config = SensorConfig(
+            window_seconds=WIDTH,
+            min_queriers=3,
+            majority_runs=3,
+            classifier_factory=_constant_scan_factory,
+        )
+        trainer = SensorEngine(directory, config)
+        window = trainer.process(entries, 0.0, WIDTH, classify=False)[0]
+        # "scan" first so the constant code 0 decodes to it.
+        labeled = LabeledSet.from_pairs([(1, "scan"), (2, "dns"), (3, "scan"), (4, "dns")])
+        trainer.fit(window.features, labeled)
+
+        async def run():
+            service = BackscatterService(
+                directory,
+                ServiceConfig(
+                    port=0,
+                    sensor=config,
+                    alert_classes=("scan",),
+                    alert_window=6,
+                    alert_threshold=3.0,
+                ),
+            )
+            service.fit_from(trainer)
+            await service.start()
+            for lo in range(0, len(block), 97):
+                service.submit_block(block[lo : lo + 97])
+            await service.drain()
+            await service.stop()
+            return service
+
+        service = asyncio.run(run())
+        assert service.windows_total == 7
+        alerts = service.alerts()
+        assert len(alerts) == 1
+        assert alerts[0]["app_class"] == "scan"
+        assert alerts[0]["observed"] == 20
+        assert alerts[0]["score"] >= 3.0
+
+
+class TestServeCli:
+    @pytest.fixture()
+    def serialized_world(self, tmp_path):
+        directory = directory_for(range(100, 140))
+        entries = synthetic_entries()
+        block = EntryBlock.from_entries(entries)
+        log_path = tmp_path / "feed.npz"
+        save_block(log_path, block)
+        dir_path = tmp_path / "queriers.jsonl"
+        write_directory(
+            dir_path, (directory.lookup(q) for q in range(100, 140))
+        )
+        labels = {
+            ip_to_str(o): ("scan" if o % 2 else "dns") for o in range(1, 9)
+        }
+        labels_path = tmp_path / "labels.json"
+        labels_path.write_text(json.dumps(labels))
+        return log_path, dir_path, labels_path
+
+    def test_serve_once_replays_and_exits_cleanly(self, serialized_world, capsys):
+        from repro.cli import main
+
+        log_path, dir_path, labels_path = serialized_world
+        code = main(
+            [
+                "serve",
+                "-l", str(log_path),
+                "-d", str(dir_path),
+                "-t", str(labels_path),
+                "--port", "0",
+                "--window", "100",
+                "--min-queriers", "3",
+                "--chunk", "400",
+                "--retrain", "daily",
+                "--once",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving http on 127.0.0.1:" in out
+        assert "served 3 windows" in out
